@@ -1,0 +1,55 @@
+"""E8 — toolkit speed: simulation and transformation rates.
+
+The paper's Section 5: "Since all transformations are local they are very
+fast to compute.  This environment enables fast exploration of the design
+space."  This bench measures the Python engine's cycles/second on the
+Figure 1(d) loop and a deep pipeline, and the latency of a complete
+speculation rewrite.
+"""
+
+from conftest import write_result
+
+from repro.core.scheduler import ToggleScheduler
+from repro.core.speculation import speculate
+from repro.netlist import patterns
+from repro.sim.engine import Simulator
+
+
+def simulate_fig1d(cycles=500):
+    net, _names = patterns.fig1d(lambda g: g % 2)
+    Simulator(net).run(cycles)
+    return cycles
+
+
+def simulate_pipeline(cycles=500):
+    net = patterns.eb_chain(12, source_values=list(range(cycles)))
+    Simulator(net).run(cycles)
+    return cycles
+
+
+def transform_fig1a():
+    net, _names = patterns.fig1a(lambda g: 0)
+    speculate(net, "mux", "F", ToggleScheduler(2))
+    return net
+
+
+def test_engine_speed_fig1d(benchmark):
+    cycles = benchmark(simulate_fig1d)
+    rate = cycles / benchmark.stats["mean"]
+    write_result("engine_fig1d.txt",
+                 f"fig1d simulation: {rate:,.0f} cycles/second (mean)")
+    assert rate > 1000          # sanity: the engine is usable for sweeps
+
+
+def test_engine_speed_pipeline(benchmark):
+    cycles = benchmark(simulate_pipeline)
+    rate = cycles / benchmark.stats["mean"]
+    write_result("engine_pipeline.txt",
+                 f"12-stage pipeline: {rate:,.0f} cycles/second (mean)")
+    assert rate > 500
+
+
+def test_transformation_speed(benchmark):
+    net = benchmark(transform_fig1a)
+    assert net.nodes_of_kind("shared")
+    assert benchmark.stats["mean"] < 0.1      # "very fast to compute"

@@ -1,0 +1,91 @@
+"""E2 — Figure 1(a)-(d): the four design points of the speculation story.
+
+Regenerates the Section 2 comparison: cycle time, throughput, area and
+effective cycle time for the non-speculative loop, bubble insertion,
+Shannon decomposition and speculation, plus a prediction-accuracy sweep
+for the speculative design.
+
+Headline shape asserted:
+  * bubble insertion halves throughput ("no real gain");
+  * Shannon is fastest but largest;
+  * speculation approaches Shannon's performance at lower area;
+  * speculation's throughput degrades as 1/(1 + misprediction rate).
+"""
+
+import random
+
+import pytest
+from conftest import write_result
+
+from repro.core.scheduler import RepairScheduler, TwoBitScheduler
+from repro.netlist import patterns
+from repro.perf import measure_throughput, performance_report
+from repro.perf.report import format_report_table
+from repro.perf.timing import cycle_time
+
+
+def biased_sel(bias, seed=0):
+    rng = random.Random(seed)
+    cache = {}
+
+    def fn(generation):
+        if generation not in cache:
+            cache[generation] = 0 if rng.random() < bias else 1
+        return cache[generation]
+
+    return fn
+
+
+def build_reports():
+    sel = biased_sel(0.8, seed=1)
+    reports = []
+    for label, make in [("fig1a_non_speculative", patterns.fig1a),
+                        ("fig1b_bubble", patterns.fig1b),
+                        ("fig1c_shannon", patterns.fig1c)]:
+        net, _names = make(sel)
+        reports.append(performance_report(net, name=label))
+    net, names = patterns.fig1d(sel, scheduler=TwoBitScheduler())
+    reports.append(performance_report(net, sim_channel=names["ebin"],
+                                      cycles=1500, warmup=100,
+                                      name="fig1d_speculation"))
+    return reports
+
+
+def accuracy_sweep():
+    rows = ["bias  throughput  effective"]
+    points = []
+    for bias in (0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0):
+        net, names = patterns.fig1d(biased_sel(bias, seed=2),
+                                    scheduler=RepairScheduler(2))
+        period = cycle_time(net)
+        theta = measure_throughput(net, names["ebin"], cycles=1500,
+                                   warmup=100).throughput
+        rows.append(f"{bias:4.2f}  {theta:10.3f}  {period / theta:9.2f}")
+        points.append((bias, theta))
+    return rows, points
+
+
+def test_fig1_design_points(benchmark):
+    reports = benchmark(build_reports)
+    table = format_report_table(reports)
+    sweep_rows, points = accuracy_sweep()
+    write_result("fig1.txt", table + "\n\nprediction-accuracy sweep "
+                 "(RepairScheduler):\n" + "\n".join(sweep_rows))
+    by_name = {r.name: r for r in reports}
+    a = by_name["fig1a_non_speculative"]
+    b = by_name["fig1b_bubble"]
+    c = by_name["fig1c_shannon"]
+    d = by_name["fig1d_speculation"]
+    # bubble insertion: better clock, half the throughput, worse overall
+    assert b.cycle_time < a.cycle_time
+    assert b.throughput == pytest.approx(0.5)
+    assert b.effective_cycle_time > a.effective_cycle_time
+    # Shannon: fastest effective time, largest area
+    assert c.effective_cycle_time < a.effective_cycle_time
+    assert c.area > a.area and c.area > d.area
+    # speculation: between a and c in effective time, cheaper than c
+    assert d.effective_cycle_time < a.effective_cycle_time
+    # accuracy sweep is monotone: better prediction -> higher throughput
+    thetas = [theta for _bias, theta in points]
+    assert thetas[0] < thetas[-1]
+    assert thetas[-1] == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,87 @@
+"""E4 — Figure 7 / Section 5.2: the SECDED-resilient adder.
+
+Regenerates the resilience comparison: error-free the speculative stage
+matches the unprotected adder's throughput ("no performance penalty during
+the error-free behaviors"), loses exactly one cycle per detected error,
+and pays its area mainly in recovery EBs (paper: 36% on the stage).
+"""
+
+import pytest
+from conftest import write_result
+
+from repro.datapath.secded import Secded
+from repro.netlist.resilient import (
+    encoded_op_stream,
+    plain_adder,
+    resilient_nonspeculative,
+    resilient_speculative,
+)
+from repro.perf import performance_report
+from repro.perf.area import total_area
+from repro.perf.report import format_report_table
+from repro.sim.engine import Simulator
+
+
+def error_free_reports(code):
+    reports = []
+    for label, maker in [("unprotected", plain_adder),
+                         ("fig7a_nonspeculative", resilient_nonspeculative),
+                         ("fig7b_speculative", resilient_speculative)]:
+        net, _names = maker(code, error_rate=0.0, seed=1)
+        reports.append(performance_report(net, sim_channel="out", cycles=1000,
+                                          warmup=50, name=label))
+    return reports
+
+
+def error_sweep(code):
+    rows = ["rate  fig7a  fig7b  1/(1+2r-r^2)"]
+    for rate in (0.0, 0.02, 0.05, 0.1, 0.2, 0.4):
+        net_a, _ = resilient_nonspeculative(code, error_rate=rate, seed=3)
+        net_b, _ = resilient_speculative(code, error_rate=rate, seed=3)
+        ta = performance_report(net_a, sim_channel="out", cycles=800,
+                                warmup=50).throughput
+        tb = performance_report(net_b, sim_channel="out", cycles=800,
+                                warmup=50).throughput
+        p_op = 1 - (1 - rate) ** 2          # either operand corrupted
+        rows.append(f"{rate:4.2f}  {ta:5.3f}  {tb:5.3f}  {1 / (1 + p_op):11.3f}")
+    return rows
+
+
+def one_cycle_per_error(code, rate=0.15, cycles=1000):
+    net, _names = resilient_speculative(code, error_rate=rate, seed=12)
+    sim = Simulator(net)
+    sim.run(cycles)
+    outputs = sim.stats.transfers["out"]
+    gen = encoded_op_stream(code, rate, seed=12)
+    errors = 0
+    for i in range(outputs):
+        a, b = gen(i)
+        if code.decode(a).status != "ok" or code.decode(b).status != "ok":
+            errors += 1
+    return outputs, errors, cycles
+
+
+def test_fig7_secded(benchmark):
+    code = Secded(64)
+    reports = benchmark(error_free_reports, code)
+    sweep = error_sweep(code)
+    outputs, errors, cycles = one_cycle_per_error(code)
+    net_a, _ = resilient_nonspeculative(code)
+    net_b, names = resilient_speculative(code)
+    overhead = (total_area(net_b) / total_area(net_a) - 1) * 100
+    write_result(
+        "fig7_secded.txt",
+        format_report_table(reports)
+        + "\n\nthroughput vs injected error rate (per operand):\n"
+        + "\n".join(sweep)
+        + f"\n\none-cycle-per-error check: {outputs} sums + {errors} replays"
+        f" ~= {cycles} cycles"
+        + f"\narea overhead of (b) over (a): {overhead:.1f}% (paper: 36%,"
+        " dominated by the recovery EBs)",
+    )
+    by_name = {r.name: r for r in reports}
+    assert by_name["unprotected"].throughput == pytest.approx(1.0, abs=0.01)
+    assert by_name["fig7b_speculative"].throughput == pytest.approx(1.0, abs=0.01)
+    # exactly one lost cycle per detected error
+    assert outputs + errors == pytest.approx(cycles, abs=10)
+    assert 10.0 < overhead < 50.0            # paper: 36%

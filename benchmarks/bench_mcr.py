@@ -1,0 +1,43 @@
+"""E7 — analytical vs simulated throughput (marked-graph min cycle ratio).
+
+Cross-validates the Section 2 analysis machinery: on plain elastic designs
+(token rings, the Figure 1(b) loop) the analytical minimum cycle ratio
+must match cycle-accurate simulation; the 1/2 result for bubble insertion
+is the paper's worked example.
+"""
+
+import pytest
+from conftest import write_result
+
+from repro.netlist import patterns
+from repro.perf import marked_graph_throughput, measure_throughput
+
+RING_CASES = [(3, 1), (3, 2), (4, 1), (4, 2), (4, 3), (5, 2), (6, 4), (4, 7)]
+
+
+def run_cross_check():
+    rows = []
+    for stages, tokens in RING_CASES:
+        net = patterns.token_ring(stages, tokens)
+        predicted = marked_graph_throughput(net)
+        measured = measure_throughput(net, "ring0", cycles=600,
+                                      warmup=60).throughput
+        rows.append((f"ring({stages},{tokens})", predicted, measured))
+    net_b, _names = patterns.fig1b(lambda g: 0)
+    predicted = marked_graph_throughput(net_b)
+    measured = measure_throughput(net_b, "ebin", cycles=600,
+                                  warmup=60).throughput
+    rows.append(("fig1b_bubble_loop", predicted, measured))
+    return rows
+
+
+def test_mcr_matches_simulation(benchmark):
+    rows = benchmark(run_cross_check)
+    text = ["design              analytical  simulated"]
+    for name, predicted, measured in rows:
+        text.append(f"{name:<19} {predicted:10.4f} {measured:10.4f}")
+    write_result("mcr.txt", "\n".join(text))
+    for name, predicted, measured in rows:
+        assert measured == pytest.approx(predicted, abs=0.02), name
+    # the paper's worked example: one token, two buffers -> 1/2
+    assert dict((n, p) for n, p, _m in rows)["fig1b_bubble_loop"] == pytest.approx(0.5)

@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table or figure), asserts the
+headline claim, writes the rendered table to ``benchmarks/results/`` and
+times its central simulation with pytest-benchmark.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name, text):
+    """Persist a regenerated table; returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as fh:
+        fh.write(text if text.endswith("\n") else text + "\n")
+    return path

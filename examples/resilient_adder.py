@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The Section 5.2 study: soft-error resilience via speculation.
+
+A 64-bit prefix adder consumes SECDED-protected operands.  The
+non-speculative design (Figure 7(a)) spends a whole pipeline stage on
+correction; the speculative design (Figure 7(b)) starts adding the raw
+operands immediately and replays from the recovery EB only when the
+checker actually finds an error.
+
+Run:  python examples/resilient_adder.py
+"""
+
+from repro.datapath.secded import Secded
+from repro.netlist.resilient import (
+    plain_adder,
+    resilient_nonspeculative,
+    resilient_speculative,
+)
+from repro.perf import performance_report
+from repro.perf.area import total_area
+from repro.perf.report import format_report_table
+from repro.sim.engine import Simulator
+from repro.sim.stats import TransferLog
+from repro.tech.library import DEFAULT_TECH
+
+
+def code_figures(code):
+    print("=== SECDED Hamming(72,64) gate figures ===")
+    stats = code.stats(DEFAULT_TECH)
+    print(f"{'block':>9} {'area':>9} {'delay':>7}")
+    for label in ("encoder", "decoder", "detector"):
+        s = stats[label]
+        print(f"{label:>9} {s['area']:>9.1f} {s['delay']:>7.2f}")
+    print()
+
+
+def head_to_head(code):
+    print("=== error-free comparison ===")
+    reports = []
+    for label, maker in [("unprotected", plain_adder),
+                         ("(a) SECDED stage", resilient_nonspeculative),
+                         ("(b) speculative", resilient_speculative)]:
+        net, _names = maker(code, error_rate=0.0, seed=1)
+        reports.append(performance_report(net, sim_channel="out",
+                                          cycles=1000, warmup=50, name=label))
+    print(format_report_table(reports))
+    print("\nError-free, the speculative stage matches the unprotected "
+          "throughput — the protection is free until it is needed.\n")
+
+
+def latency_comparison(code):
+    print("=== first-result latency (pipeline depth) ===")
+    for label, maker in [("(a) SECDED stage", resilient_nonspeculative),
+                         ("(b) speculative", resilient_speculative)]:
+        net, _names = maker(code, error_rate=0.0, seed=2)
+        log = TransferLog(["out"])
+        Simulator(net, observers=[log]).run(8)
+        print(f"  {label}: first sum at cycle {log.cycles('out')[0]}")
+    print()
+
+
+def error_rate_sweep(code):
+    print("=== throughput vs injected soft-error rate (per operand) ===")
+    print(f"{'rate':>6} {'(a) non-spec':>13} {'(b) speculative':>16}")
+    for rate in (0.0, 0.02, 0.05, 0.1, 0.2, 0.4):
+        net_a, _ = resilient_nonspeculative(code, error_rate=rate, seed=3)
+        net_b, _ = resilient_speculative(code, error_rate=rate, seed=3)
+        ra = performance_report(net_a, sim_channel="out", cycles=1000,
+                                warmup=50)
+        rb = performance_report(net_b, sim_channel="out", cycles=1000,
+                                warmup=50)
+        print(f"{rate:>6.2f} {ra.throughput:>13.3f} {rb.throughput:>16.3f}")
+    print("\n(b) loses exactly one cycle per detected error — "
+          "'a single clock cycle is lost in order to correct the data'.\n")
+
+
+def area_overheads(code):
+    print("=== area accounting ===")
+    net_p, _ = plain_adder(code)
+    net_a, _ = resilient_nonspeculative(code)
+    net_b, names = resilient_speculative(code)
+    ap, aa, ab = (total_area(n) for n in (net_p, net_a, net_b))
+    print(f"  unprotected:        {ap:>10.0f}")
+    print(f"  (a) SECDED stage:   {aa:>10.0f}  (+{(aa / ap - 1) * 100:.0f}% vs plain)")
+    print(f"  (b) speculative:    {ab:>10.0f}  (+{(ab / aa - 1) * 100:.0f}% vs (a); "
+          "paper: 36%, dominated by the recovery EBs)")
+    from repro.perf.area import area_breakdown
+
+    recovery = area_breakdown(net_b)[names["recovery"]]
+    print(f"  recovery EB alone:  {recovery:>10.0f}")
+
+
+if __name__ == "__main__":
+    code = Secded(64)
+    code_figures(code)
+    head_to_head(code)
+    latency_comparison(code)
+    error_rate_sweep(code)
+    area_overheads(code)

@@ -1,0 +1,19 @@
+"""Offline-friendly editable install fallback.
+
+``pip install -e .`` needs the ``wheel`` package for PEP 660 editables; on
+air-gapped machines run ``python setup.py develop`` (or add ``src/`` to a
+``.pth`` file) instead.  Configuration mirrors pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Speculation in Elastic Systems' (DAC 2009)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

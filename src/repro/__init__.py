@@ -1,0 +1,83 @@
+"""repro — a reproduction of *Speculation in Elastic Systems* (DAC 2009).
+
+The library implements synchronous elastic (SELF) systems with anti-token
+counterflow, early evaluation and speculative shared modules, plus the
+exploration toolkit the paper's Section 5 describes: correct-by-construction
+transformations, cycle-accurate simulation, performance analysis, built-in
+model checking and Verilog/SMV/BLIF back-ends.
+
+Quick start::
+
+    from repro import patterns, Simulator
+    from repro.sim import TraceRecorder, format_trace_table
+
+    net, names = patterns.table1_design()
+    trace = TraceRecorder([names["fin0"], names["fout0"],
+                           names["fin1"], names["fout1"]])
+    Simulator(net, observers=[trace]).run(7)
+    print(format_trace_table(trace))
+"""
+
+from repro import errors
+from repro.elastic import (
+    Channel,
+    EagerFork,
+    EarlyEvalMux,
+    ElasticBuffer,
+    Func,
+    KillerSink,
+    ListSource,
+    FunctionSource,
+    Sink,
+    ZeroBackwardLatencyBuffer,
+    bubble,
+)
+from repro.core import (
+    OracleScheduler,
+    PrimaryScheduler,
+    RepairScheduler,
+    RoundRobinScheduler,
+    SharedModule,
+    StaticScheduler,
+    ToggleScheduler,
+    TwoBitScheduler,
+    speculate,
+)
+from repro.netlist import Netlist, to_dot
+from repro.netlist import patterns
+from repro.sim import Simulator, TraceRecorder, format_trace_table
+from repro.transform import Session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "errors",
+    "Channel",
+    "ElasticBuffer",
+    "ZeroBackwardLatencyBuffer",
+    "bubble",
+    "Func",
+    "EagerFork",
+    "EarlyEvalMux",
+    "ListSource",
+    "FunctionSource",
+    "Sink",
+    "KillerSink",
+    "SharedModule",
+    "StaticScheduler",
+    "ToggleScheduler",
+    "RoundRobinScheduler",
+    "RepairScheduler",
+    "PrimaryScheduler",
+    "TwoBitScheduler",
+    "OracleScheduler",
+    "speculate",
+    "Netlist",
+    "to_dot",
+    "patterns",
+    "Simulator",
+    "TraceRecorder",
+    "format_trace_table",
+    "Session",
+    "__version__",
+]

@@ -1,0 +1,9 @@
+"""Back-ends of the exploration toolkit (Section 5): "it is possible to
+generate a Verilog netlist of the elastic controller, a blif model for
+logic synthesis with SIS or a NuSMV model for verification"."""
+
+from repro.backend.verilog import to_verilog
+from repro.backend.smv import to_smv
+from repro.backend.blif import to_blif, parse_blif
+
+__all__ = ["to_verilog", "to_smv", "to_blif", "parse_blif"]

@@ -1,0 +1,99 @@
+"""BLIF back-end for gate netlists ("a blif model for logic synthesis with
+SIS", Section 5).
+
+Covers the :class:`~repro.tech.gates.GateNetlist` IR used by the datapath
+blocks (adders, SECDED trees, ALUs).  A small parser is included so tests
+can round-trip models.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackendError
+from repro.tech.gates import Gate, GateNetlist
+
+#: gate kind -> list of cube lines (inputs pattern, output value)
+_CUBES = {
+    "inv": ["0 1"],
+    "buf": ["1 1"],
+    "and2": ["11 1"],
+    "or2": ["1- 1", "-1 1"],
+    "nand2": ["0- 1", "-0 1"],
+    "nor2": ["00 1"],
+    "xor2": ["01 1", "10 1"],
+    "xnor2": ["00 1", "11 1"],
+    "mux2": ["01- 1", "1-1 1"],   # inputs (s, a, b): out = s ? b : a
+    "aoi21": ["0-0 1", "-00 1"],
+    "const0": [],
+    "const1": ["1"],         # single line "1" = constant one
+}
+
+
+def _gate_cubes(gate):
+    if gate.kind == "mux2":
+        # inputs (s, a, b): out = s ? b : a
+        return ["01- 1", "1-1 1"]
+    if gate.kind not in _CUBES:
+        raise BackendError(f"no BLIF cubes for gate kind {gate.kind!r}")
+    return _CUBES[gate.kind]
+
+
+def to_blif(gatelist, model_name=None):
+    """Serialize a :class:`GateNetlist` to BLIF text."""
+    model_name = model_name or gatelist.name
+    lines = [f".model {model_name}"]
+    lines.append(".inputs " + " ".join(gatelist.inputs))
+    lines.append(".outputs " + " ".join(gatelist.outputs))
+    for gate in gatelist.gates:
+        names = " ".join(list(gate.inputs) + [gate.output])
+        lines.append(f".names {names}")
+        lines.extend(_gate_cubes(gate))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def parse_blif(text):
+    """Parse BLIF back into a :class:`GateNetlist` (sum-of-products nodes
+    are matched back to library gates; used for round-trip testing)."""
+    lines = [ln.strip() for ln in text.splitlines() if ln.strip()
+             and not ln.strip().startswith("#")]
+    name = "model"
+    inputs, outputs = [], []
+    nodes = []        # (input names, output name, cube lines)
+    current = None
+    for line in lines:
+        if line.startswith(".model"):
+            name = line.split()[1] if len(line.split()) > 1 else name
+        elif line.startswith(".inputs"):
+            inputs.extend(line.split()[1:])
+        elif line.startswith(".outputs"):
+            outputs.extend(line.split()[1:])
+        elif line.startswith(".names"):
+            parts = line.split()[1:]
+            current = (parts[:-1], parts[-1], [])
+            nodes.append(current)
+        elif line.startswith(".end"):
+            current = None
+        elif current is not None:
+            current[2].append(line)
+    net = GateNetlist(name)
+    for n in inputs:
+        net.add_input(n)
+    for ins, out, cubes in nodes:
+        kind = _match_kind(ins, cubes)
+        net.add_gate(kind, tuple(ins), out)
+    for n in outputs:
+        net.mark_output(n)
+    return net
+
+
+def _match_kind(ins, cubes):
+    cubes = sorted(c.replace("\t", " ") for c in cubes)
+    for kind, ref in _CUBES.items():
+        arity = {"inv": 1, "buf": 1, "const0": 0, "const1": 0,
+                 "mux2": 3, "aoi21": 3}.get(kind, 2)
+        if arity != len(ins):
+            continue
+        ref_cubes = sorted(_gate_cubes(Gate(kind, "_tmp", tuple(["x"] * arity))))
+        if cubes == ref_cubes:
+            return kind
+    raise BackendError(f"unrecognized BLIF node with cubes {cubes!r}")

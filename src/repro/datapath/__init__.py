@@ -1,0 +1,35 @@
+"""Datapath blocks for the paper's Section 5 examples: adders (ripple and
+Kogge-Stone prefix), the carry-window approximate adder with error detector
+(function speculation, ref [2]), an 8-bit variable-latency ALU, and the
+SECDED Hamming(72,64) encoder/decoder.
+
+Every block exists twice: as a fast functional model (used inside elastic
+simulations) and as a :class:`~repro.tech.gates.GateNetlist` (used for
+bit-exact cross-checking and for area/delay numbers)."""
+
+from repro.datapath.adders import (
+    add_functional,
+    ripple_carry_adder,
+    kogge_stone_adder,
+)
+from repro.datapath.approx import (
+    approx_add_functional,
+    approx_error_functional,
+    approx_adder_gates,
+    approx_error_detector_gates,
+)
+from repro.datapath.alu import Alu, ALU_OPS
+from repro.datapath.secded import Secded
+
+__all__ = [
+    "add_functional",
+    "ripple_carry_adder",
+    "kogge_stone_adder",
+    "approx_add_functional",
+    "approx_error_functional",
+    "approx_adder_gates",
+    "approx_error_detector_gates",
+    "Alu",
+    "ALU_OPS",
+    "Secded",
+]

@@ -1,0 +1,97 @@
+"""Adders: ripple-carry and Kogge-Stone prefix, functional and gate-level.
+
+The resilient design of Section 5.2 uses "a 64-bit prefix-adder"; the
+variable-latency ALU of Section 5.1 contrasts a slow exact adder (ripple)
+with a fast approximation.  The gate-level builders feed the area/delay
+models; the functional forms run inside elastic simulations.
+"""
+
+from __future__ import annotations
+
+from repro.tech.gates import GateNetlist
+
+
+def add_functional(a, b, width, cin=0):
+    """Exact addition: returns ``(sum mod 2^width, carry_out)``."""
+    total = (a & ((1 << width) - 1)) + (b & ((1 << width) - 1)) + (cin & 1)
+    return total & ((1 << width) - 1), (total >> width) & 1
+
+
+def _full_adder(net, a, b, c):
+    """Returns (sum, carry) nets built from 2 XOR + 2 AND + 1 OR."""
+    axb = net.xor2(a, b)
+    s = net.xor2(axb, c)
+    g = net.and2(a, b)
+    p = net.and2(axb, c)
+    cout = net.or2(g, p)
+    return s, cout
+
+
+def ripple_carry_adder(width, with_cin=False):
+    """Classic ripple-carry adder: O(width) delay, minimal area."""
+    net = GateNetlist(f"rca{width}")
+    a = net.add_inputs("a", width)
+    b = net.add_inputs("b", width)
+    carry = net.add_input("cin") if with_cin else net.const(False)
+    for i in range(width):
+        s, carry = _full_adder(net, a[i], b[i], carry)
+        net.add_gate("buf", (s,), f"s{i}")
+        net.mark_output(f"s{i}")
+    net.add_gate("buf", (carry,), "cout")
+    net.mark_output("cout")
+    return net
+
+
+def kogge_stone_adder(width, with_cin=False):
+    """Kogge-Stone parallel-prefix adder: O(log width) delay.
+
+    Prefix operator: ``(G, P) o (g, p) = (G | P&g, P&p)`` applied over
+    doubling spans.
+    """
+    net = GateNetlist(f"ks{width}")
+    a = net.add_inputs("a", width)
+    b = net.add_inputs("b", width)
+    cin = net.add_input("cin") if with_cin else net.const(False)
+    p = [net.xor2(a[i], b[i]) for i in range(width)]
+    g = [net.and2(a[i], b[i]) for i in range(width)]
+    # Prefix tree over (g, p).
+    gg = list(g)
+    pp = list(p)
+    span = 1
+    while span < width:
+        new_g = list(gg)
+        new_p = list(pp)
+        for i in range(span, width):
+            t = net.and2(pp[i], gg[i - span])
+            new_g[i] = net.or2(gg[i], t)
+            new_p[i] = net.and2(pp[i], pp[i - span])
+        gg, pp = new_g, new_p
+        span *= 2
+    # carry into bit i: c0 = cin; c_i = G_{i-1} | P_{i-1} & cin
+    carries = [cin]
+    for i in range(width):
+        t = net.and2(pp[i], cin)
+        carries.append(net.or2(gg[i], t))
+    for i in range(width):
+        net.add_gate("xor2", (p[i], carries[i]), f"s{i}")
+        net.mark_output(f"s{i}")
+    net.add_gate("buf", (carries[width],), "cout")
+    net.mark_output("cout")
+    return net
+
+
+def adder_inputs(a, b, width, cin=None):
+    """Input-value dict for the gate-level adders."""
+    values = {}
+    for i in range(width):
+        values[f"a{i}"] = bool((a >> i) & 1)
+        values[f"b{i}"] = bool((b >> i) & 1)
+    if cin is not None:
+        values["cin"] = bool(cin)
+    return values
+
+
+def adder_sum(outputs, width):
+    """Integer sum (and carry) from a gate-level adder's output dict."""
+    total = sum(1 << i for i in range(width) if outputs[f"s{i}"])
+    return total, int(outputs["cout"])

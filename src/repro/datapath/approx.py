@@ -1,0 +1,106 @@
+"""Function speculation: the carry-window approximate adder.
+
+Section 5.1 uses a variable-latency unit built from ``F_approx`` — "an
+approximation of F_exact that can be obtained automatically [2], and it has
+a shorter critical path" — plus an error detector ``F_err``.
+
+The classic automatic approximation for adders cuts the carry chain: the
+carry into bit ``i`` is computed from only the previous ``window`` bits
+(assuming no carry enters the window from below).  For uniformly random
+operands long propagate runs are rare, so the approximation is almost
+always exact, and its critical path grows with ``window`` instead of with
+the full width.
+
+The error detector is the standard conservative one: flag whenever any
+``window`` consecutive propagate bits occur.  It never misses a real error
+(if no such run exists, every carry is generated inside its window, so the
+approximation is exact); it may rarely flag a case that happened to be
+correct, which costs a needless — but harmless — replay cycle.
+"""
+
+from __future__ import annotations
+
+from repro.tech.gates import GateNetlist
+
+
+def _mask(width):
+    return (1 << width) - 1
+
+
+def approx_add_functional(a, b, width, window):
+    """Carry-window approximate sum (no carry-in)."""
+    a &= _mask(width)
+    b &= _mask(width)
+    result = 0
+    for i in range(width):
+        lo = max(0, i - window)
+        # carry into bit i from the window [lo, i), assuming 0 into lo
+        carry = ((a & _mask(i) & ~_mask(lo)) + (b & _mask(i) & ~_mask(lo))) >> i & 1
+        bit = ((a >> i) ^ (b >> i) ^ carry) & 1
+        result |= bit << i
+    return result
+
+
+def approx_error_functional(a, b, width, window):
+    """Conservative error flag: any ``window`` consecutive propagates."""
+    p = (a ^ b) & _mask(width)
+    run = 0
+    for i in range(width):
+        if (p >> i) & 1:
+            run += 1
+            if run >= window:
+                return 1
+        else:
+            run = 0
+    return 0
+
+
+def approx_exact_mismatch(a, b, width, window):
+    """True when the approximation is actually wrong (for detector tests)."""
+    exact = (a + b) & _mask(width)
+    return approx_add_functional(a, b, width, window) != exact
+
+
+def approx_adder_gates(width, window):
+    """Gate-level carry-window adder: per-bit ripple restricted to the
+    window, so the critical path is O(window)."""
+    net = GateNetlist(f"approx{width}w{window}")
+    a = net.add_inputs("a", width)
+    b = net.add_inputs("b", width)
+    p = [net.xor2(a[i], b[i]) for i in range(width)]
+    g = [net.and2(a[i], b[i]) for i in range(width)]
+    for i in range(width):
+        lo = max(0, i - window)
+        carry = net.const(False)
+        for j in range(lo, i):
+            t = net.and2(p[j], carry)
+            carry = net.or2(g[j], t)
+        net.add_gate("xor2", (p[i], carry), f"s{i}")
+        net.mark_output(f"s{i}")
+    return net
+
+
+def approx_error_detector_gates(width, window):
+    """Gate-level conservative detector: OR over all ``window``-long
+    propagate runs (a handful of AND/OR trees, very short path)."""
+    net = GateNetlist(f"err{width}w{window}")
+    a = net.add_inputs("a", width)
+    b = net.add_inputs("b", width)
+    p = [net.xor2(a[i], b[i]) for i in range(width)]
+    runs = []
+    for start in range(0, width - window + 1):
+        runs.append(net.and_tree(p[start:start + window]))
+    net.or_tree(runs, out="err")
+    net.mark_output("err")
+    return net
+
+
+def error_rate_estimate(width, window):
+    """Analytic estimate of the detector firing rate for uniform operands.
+
+    P(a propagate run of length >= window starting at a given bit) is
+    2^-window; a union bound over the ~width start positions gives the
+    small-probability estimate used to size the window in the benchmarks.
+    """
+    starts = max(0, width - window + 1)
+    return min(1.0, starts * 2.0 ** (-window))

@@ -1,0 +1,200 @@
+"""SECDED: single-error-correcting, double-error-detecting Hamming code.
+
+Section 5.2: "For each 64 bits of data, 8 extra bits allow to detect and
+correct any single bit error.  Besides, double bit errors are detected as
+well" (refs [16, 17]).
+
+Implementation: extended Hamming(72,64).  Seven check bits sit at codeword
+positions 1, 2, 4, 8, 16, 32, 64 (1-based), each covering the positions
+whose index has the corresponding bit set; an eighth bit holds the overall
+parity.  Decoding computes the syndrome and overall parity:
+
+* syndrome 0, parity even            -> no error;
+* syndrome != 0, parity odd          -> single error at position ``syndrome``
+  (flip it — works for data *and* check bit errors);
+* syndrome != 0, parity even         -> double error (uncorrectable);
+* syndrome 0, parity odd             -> the overall parity bit itself flipped.
+
+Both the functional model (fast ints, used in elastic simulations) and
+gate-level encoder/decoder netlists (XOR trees, used for area/delay and
+bit-exact cross-checks) are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.gates import GateNetlist
+
+OK = "ok"
+CORRECTED = "corrected"
+PARITY_FIXED = "parity_fixed"
+DOUBLE = "double_error"
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    data: int
+    status: str
+
+    @property
+    def uncorrectable(self):
+        return self.status == DOUBLE
+
+
+class Secded:
+    """Extended Hamming encoder/decoder for ``data_bits`` payload bits."""
+
+    def __init__(self, data_bits=64):
+        self.data_bits = data_bits
+        self.check_bits = self._needed_check_bits(data_bits)
+        self.code_bits = data_bits + self.check_bits + 1   # + overall parity
+        # 1-based codeword positions: powers of two host check bits.
+        self._positions = list(range(1, data_bits + self.check_bits + 1))
+        self._data_positions = [p for p in self._positions if p & (p - 1)]
+        self._check_positions = [1 << i for i in range(self.check_bits)]
+
+    @staticmethod
+    def _needed_check_bits(data_bits):
+        r = 0
+        while (1 << r) < data_bits + r + 1:
+            r += 1
+        return r
+
+    # -- functional ----------------------------------------------------------------
+
+    def encode(self, data):
+        """64-bit data -> 72-bit codeword (low bits = positions 1..71,
+        top bit = overall parity)."""
+        data &= (1 << self.data_bits) - 1
+        word = {}
+        for idx, pos in enumerate(self._data_positions):
+            word[pos] = (data >> idx) & 1
+        for check_pos in self._check_positions:
+            parity = 0
+            for pos in self._data_positions:
+                if pos & check_pos:
+                    parity ^= word[pos]
+            word[check_pos] = parity
+        code = 0
+        for pos in self._positions:
+            code |= word[pos] << (pos - 1)
+        overall = bin(code).count("1") & 1
+        code |= overall << (self.code_bits - 1)
+        return code
+
+    def decode(self, code):
+        """72-bit codeword -> :class:`DecodeResult` (corrected data + status)."""
+        body = code & ((1 << (self.code_bits - 1)) - 1)
+        overall_bit = (code >> (self.code_bits - 1)) & 1
+        syndrome = 0
+        for check_pos in self._check_positions:
+            parity = 0
+            for pos in self._positions:
+                if pos & check_pos:
+                    parity ^= (body >> (pos - 1)) & 1
+            if parity:
+                syndrome |= check_pos
+        parity_all = (bin(body).count("1") + overall_bit) & 1
+        if syndrome == 0 and parity_all == 0:
+            status = OK
+        elif syndrome != 0 and parity_all == 1:
+            body ^= 1 << (syndrome - 1)       # correct the flipped position
+            status = CORRECTED
+        elif syndrome == 0 and parity_all == 1:
+            status = PARITY_FIXED             # the parity bit itself flipped
+        else:
+            status = DOUBLE
+        data = 0
+        for idx, pos in enumerate(self._data_positions):
+            data |= ((body >> (pos - 1)) & 1) << idx
+        return DecodeResult(data, status)
+
+    def decode_raw(self, code):
+        """Extract the data bits *without* correction (just drop the check
+        bits) — the zero-delay path the speculative design of Figure 7(b)
+        feeds straight into the adder."""
+        data = 0
+        for idx, pos in enumerate(self._data_positions):
+            data |= ((code >> (pos - 1)) & 1) << idx
+        return data
+
+    def inject(self, code, *bit_positions):
+        """Flip the given codeword bit indices (0-based) — fault injection."""
+        for bit in bit_positions:
+            if not 0 <= bit < self.code_bits:
+                raise ValueError(f"bit {bit} outside codeword")
+            code ^= 1 << bit
+        return code
+
+    # -- gate level -------------------------------------------------------------------
+
+    def encoder_gates(self):
+        """XOR-tree encoder netlist: inputs d0..d63, outputs c0..c71."""
+        net = GateNetlist(f"secded_enc{self.data_bits}")
+        d = net.add_inputs("d", self.data_bits)
+        word = {}
+        for idx, pos in enumerate(self._data_positions):
+            word[pos] = d[idx]
+        for check_pos in self._check_positions:
+            nets = [word[pos] for pos in self._data_positions if pos & check_pos]
+            word[check_pos] = net.xor_tree(nets)
+        body = [word[pos] for pos in self._positions]
+        overall = net.xor_tree(body)
+        for i, src in enumerate(body):
+            net.add_gate("buf", (src,), f"c{i}")
+            net.mark_output(f"c{i}")
+        net.add_gate("buf", (overall,), f"c{self.code_bits - 1}")
+        net.mark_output(f"c{self.code_bits - 1}")
+        return net
+
+    def decoder_gates(self):
+        """Syndrome + correction netlist: inputs c0..c71, outputs d0..d63,
+        plus ``single`` (corrected) and ``double`` (uncorrectable) flags."""
+        net = GateNetlist(f"secded_dec{self.data_bits}")
+        c = net.add_inputs("c", self.code_bits)
+        syndrome = []
+        for check_pos in self._check_positions:
+            nets = [c[pos - 1] for pos in self._positions if pos & check_pos]
+            syndrome.append(net.xor_tree(nets))
+        parity_all = net.xor_tree(c)
+        nonzero = net.or_tree(syndrome)
+        single = net.and2(nonzero, parity_all, out="single")
+        net.mark_output("single")
+        notp = net.inv(parity_all)
+        net.add_gate("and2", (nonzero, notp), "double")
+        net.mark_output("double")
+        # Correction: flip data position when the syndrome addresses it.
+        for idx, pos in enumerate(self._data_positions):
+            match_terms = []
+            for bit in range(self.check_bits):
+                s = syndrome[bit]
+                match_terms.append(s if (pos >> bit) & 1 else net.inv(s))
+            addressed = net.and_tree(match_terms)
+            flip = net.and2(addressed, single)
+            net.add_gate("xor2", (c[pos - 1], flip), f"d{idx}")
+            net.mark_output(f"d{idx}")
+        return net
+
+    def detector_gates(self):
+        """Error-detector-only netlist (syndrome + nonzero flag) — the
+        short path the speculative design of Figure 7(b) puts on the select
+        channel instead of the full correction."""
+        net = GateNetlist(f"secded_det{self.data_bits}")
+        c = net.add_inputs("c", self.code_bits)
+        syndrome = []
+        for check_pos in self._check_positions:
+            nets = [c[pos - 1] for pos in self._positions if pos & check_pos]
+            syndrome.append(net.xor_tree(nets))
+        parity_all = net.xor_tree(c)
+        nonzero = net.or_tree(syndrome)
+        net.add_gate("or2", (nonzero, parity_all), "err")
+        net.mark_output("err")
+        return net
+
+    def stats(self, tech):
+        return {
+            "encoder": self.encoder_gates().stats(tech),
+            "decoder": self.decoder_gates().stats(tech),
+            "detector": self.detector_gates().stats(tech),
+        }

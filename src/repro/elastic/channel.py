@@ -1,0 +1,173 @@
+"""SELF elastic channels.
+
+A channel is a bundle of data wires plus the control tuple
+``(V+, S+, V-, S-)`` of Section 3 of the paper:
+
+* ``vp`` (``V+``) — *valid*, driven by the **producer**, forward direction.
+  Asserted while a token is offered.
+* ``sp`` (``S+``) — *stop*, driven by the **consumer**, backward direction.
+  Asserted to stall the offered token (back-pressure).
+* ``vm`` (``V-``) — *anti-token valid*, driven by the **consumer**, backward
+  direction.  Asserted while an anti-token is offered.
+* ``sm`` (``S-``) — *anti-token stop*, driven by the **producer**, forward
+  direction.  Asserted to stall the offered anti-token.
+
+Tokens travel forward, anti-tokens travel backward, and when they meet in a
+channel they cancel each other ("creating a bubble", Section 3).
+
+Event semantics (resolved once per clock cycle, after the combinational
+fix-point):
+
+* **forward transfer**  — ``vp and not sp and not vm``: the token moves into
+  the consumer.
+* **cancellation**      — ``vp and vm``: token and anti-token annihilate in
+  the channel.  The protocol invariant forces both stops low in this case
+  (the paper: "a token cannot be killed and stopped at the same time"), so
+  the producer sees its token leave and the consumer sees its anti-token
+  delivered.
+* **backward transfer** — ``vm and not sm and not vp``: the anti-token moves
+  into the producer (it is stored there, or annihilates a stored token).
+
+From the producer's point of view the token is gone whenever
+``vp and not sp`` (forward transfer *or* cancellation).  From the consumer's
+point of view a data token is received only on a forward transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SignalConflictError
+from repro.kleene import as_bool
+
+#: Role markers for the two ends of a channel.
+PRODUCER = "producer"
+CONSUMER = "consumer"
+
+#: Control signals driven by each role.
+SIGNALS_BY_ROLE = {
+    PRODUCER: ("vp", "sm", "data"),
+    CONSUMER: ("sp", "vm"),
+}
+
+CONTROL_SIGNALS = ("vp", "sp", "vm", "sm")
+
+
+@dataclass
+class ChannelState:
+    """Per-cycle signal values of one channel (``None`` = unresolved)."""
+
+    vp: object = None
+    sp: object = None
+    vm: object = None
+    sm: object = None
+    data: object = None
+
+    def clear(self):
+        self.vp = None
+        self.sp = None
+        self.vm = None
+        self.sm = None
+        self.data = None
+
+    def set(self, name, value, channel_name="?"):
+        """Monotone signal update: unknown -> known is allowed, a re-write
+        with the same value is a no-op, and a conflicting re-write raises.
+
+        Returns True when the state changed (used by the fix-point loop).
+        """
+        if value is None:
+            return False
+        old = getattr(self, name)
+        if old is None:
+            setattr(self, name, value)
+            return True
+        if old != value:
+            raise SignalConflictError(
+                f"signal {channel_name}.{name} rewritten {old!r} -> {value!r}"
+            )
+        return False
+
+    def resolved(self):
+        """True when all four control bits are known (data may stay unknown
+        while ``vp`` is False)."""
+        return (
+            self.vp is not None
+            and self.sp is not None
+            and self.vm is not None
+            and self.sm is not None
+        )
+
+    def unresolved_signals(self):
+        return [name for name in CONTROL_SIGNALS if getattr(self, name) is None]
+
+
+@dataclass(frozen=True)
+class ChannelEvents:
+    """Resolved events of one channel for one clock cycle."""
+
+    forward: bool      #: token moved forward into the consumer
+    cancel: bool       #: token and anti-token annihilated in the channel
+    backward: bool     #: anti-token moved backward into the producer
+    data: object       #: data value when ``forward`` (else ``None``)
+
+    @property
+    def token_left_producer(self):
+        """Token is gone from the producer (forward transfer or cancel)."""
+        return self.forward or self.cancel
+
+    @property
+    def anti_delivered(self):
+        """Anti-token left the consumer (cancel or absorbed by producer)."""
+        return self.cancel or self.backward
+
+
+class Channel:
+    """A named point-to-point elastic channel between two node ports.
+
+    ``width`` is the datapath width in bits (used by the area model and the
+    Verilog back-end); the Python simulator carries arbitrary values.
+    """
+
+    def __init__(self, name, width=8):
+        self.name = name
+        self.width = width
+        self.producer = None      # (node_name, port_name)
+        self.consumer = None      # (node_name, port_name)
+        self.state = ChannelState()
+
+    def __repr__(self):
+        return f"Channel({self.name!r}, {self.producer}->{self.consumer})"
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, role, node_name, port_name):
+        if role == PRODUCER:
+            if self.producer is not None:
+                raise SignalConflictError(
+                    f"channel {self.name} already has a producer {self.producer}"
+                )
+            self.producer = (node_name, port_name)
+        elif role == CONSUMER:
+            if self.consumer is not None:
+                raise SignalConflictError(
+                    f"channel {self.name} already has a consumer {self.consumer}"
+                )
+            self.consumer = (node_name, port_name)
+        else:
+            raise ValueError(f"bad role {role!r}")
+
+    # -- per-cycle resolution ---------------------------------------------
+
+    def events(self):
+        """Compute the cycle's :class:`ChannelEvents` from resolved signals."""
+        st = self.state
+        vp = as_bool(st.vp, f"{self.name}.vp")
+        sp = as_bool(st.sp, f"{self.name}.sp")
+        vm = as_bool(st.vm, f"{self.name}.vm")
+        sm = as_bool(st.sm, f"{self.name}.sm")
+        cancel = vp and vm
+        forward = vp and not sp and not vm
+        backward = vm and not sm and not vp
+        data = st.data if forward else None
+        return ChannelEvents(forward=forward, cancel=cancel, backward=backward, data=data)

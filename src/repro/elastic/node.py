@@ -1,0 +1,146 @@
+"""Base class for elastic netlist nodes.
+
+A node owns a set of ports; each port is either a token *input* (the node is
+the channel's consumer) or a token *output* (the node is the channel's
+producer).  During simulation each node participates in two phases per clock
+cycle:
+
+1. :meth:`Node.comb` — evaluate combinational logic.  Called repeatedly
+   until the global fix-point is reached, so it must be *monotone*: written
+   in Kleene logic, only adding information, never retracting it.  The node
+   drives exactly the signals its role permits (producer: ``vp``/``data``/
+   ``sm``; consumer: ``sp``/``vm``).
+2. :meth:`Node.tick` — the clock edge.  All signals are resolved; the node
+   updates its sequential state from the channel events.
+
+Nodes also expose :meth:`snapshot` / :meth:`restore` so the explicit-state
+model checker of :mod:`repro.verif` can enumerate the reachable state space,
+and a few static descriptors (:meth:`area`, :meth:`timing_arcs`) used by the
+performance models.
+"""
+
+from __future__ import annotations
+
+from repro.elastic.channel import PRODUCER, CONSUMER
+
+
+class PortRole:
+    IN = CONSUMER     # node consumes tokens from the channel
+    OUT = PRODUCER    # node produces tokens into the channel
+
+
+class Node:
+    """Abstract elastic node.
+
+    Subclasses declare ports by calling :meth:`add_in` / :meth:`add_out` in
+    their constructor, and implement ``comb`` and ``tick``.
+    """
+
+    #: short kind tag used by dot export / back-ends; subclasses override.
+    kind = "node"
+
+    def __init__(self, name):
+        self.name = name
+        self.in_ports = []        # ordered token-input port names
+        self.out_ports = []       # ordered token-output port names
+        self._channels = {}       # port name -> Channel (set by the netlist)
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name!r})"
+
+    # -- port declaration ---------------------------------------------------
+
+    def add_in(self, port):
+        self.in_ports.append(port)
+
+    def add_out(self, port):
+        self.out_ports.append(port)
+
+    @property
+    def ports(self):
+        return list(self.in_ports) + list(self.out_ports)
+
+    def role_of(self, port):
+        if port in self.in_ports:
+            return PortRole.IN
+        if port in self.out_ports:
+            return PortRole.OUT
+        raise KeyError(f"{self} has no port {port!r}")
+
+    # -- wiring (used by the netlist container) ------------------------------
+
+    def bind(self, port, channel):
+        self._channels[port] = channel
+
+    def channel(self, port):
+        return self._channels[port]
+
+    def st(self, port):
+        """The :class:`ChannelState` seen at ``port``."""
+        return self._channels[port].state
+
+    def drive(self, port, signal, value):
+        """Monotonically drive ``signal`` on the channel at ``port``.
+
+        Returns True when the write changed the signal (fix-point progress).
+        """
+        ch = self._channels[port]
+        return ch.state.set(signal, value, ch.name)
+
+    def ev(self, port):
+        """Resolved :class:`ChannelEvents` at ``port`` (tick time only)."""
+        return self._channels[port].events()
+
+    # -- simulation interface -------------------------------------------------
+
+    def reset(self):
+        """Reset sequential state.  Default: stateless."""
+
+    def pre_cycle(self):
+        """Hook called once per cycle, before the combinational fix-point.
+
+        Environments use it to freeze their randomized / nondeterministic
+        choices so that repeated ``comb`` evaluations stay consistent.
+        """
+
+    def comb(self):
+        """Drive combinational outputs (monotone, Kleene).  Returns True when
+        any signal changed."""
+        return False
+
+    def tick(self):
+        """Clock edge: update sequential state from resolved channels."""
+
+    # -- model checking interface ----------------------------------------------
+
+    def snapshot(self):
+        """Hashable snapshot of the sequential state."""
+        return ()
+
+    def restore(self, state):
+        """Restore a state produced by :meth:`snapshot`."""
+
+    # -- nondeterminism (environments override) ---------------------------------
+
+    def choice_space(self):
+        """Number of nondeterministic alternatives this cycle (1 = none)."""
+        return 1
+
+    def set_choice(self, choice):
+        """Select one alternative before combinational evaluation."""
+
+    # -- performance models -----------------------------------------------------
+
+    def area(self, tech):
+        """Area estimate in library units (controller + datapath)."""
+        return 0.0
+
+    def timing_arcs(self, tech):
+        """Combinational timing arcs as ``(from_port, to_port, delay)``.
+
+        ``from_port``/``to_port`` name ports of this node; an arc means a
+        combinational path from the data/control arriving at ``from_port``
+        to the data/control leaving at ``to_port``.  Sequential elements
+        (elastic buffers) return no data arcs, which is what breaks cycles.
+        """
+        return []

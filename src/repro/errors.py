@@ -1,0 +1,70 @@
+"""Exception hierarchy for the elastic-systems framework.
+
+Every error raised by the library derives from :class:`ElasticError` so that
+callers can catch framework failures without masking programming errors.
+"""
+
+
+class ElasticError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NetlistError(ElasticError):
+    """Structural problem in an elastic netlist (bad connection, dangling
+    port, duplicate name, ...)."""
+
+
+class CombinationalLoopError(ElasticError):
+    """The combinational fix-point did not resolve: a genuine combinational
+    cycle exists in the control (or datapath) network.
+
+    The paper warns about exactly this hazard when chaining too many
+    zero-backward-latency buffers (Section 4.3).
+    """
+
+    def __init__(self, unresolved, cycle=None):
+        self.unresolved = tuple(unresolved)
+        self.cycle = cycle
+        names = ", ".join(self.unresolved[:12])
+        more = "" if len(self.unresolved) <= 12 else f" (+{len(self.unresolved) - 12} more)"
+        super().__init__(
+            f"combinational fix-point left {len(self.unresolved)} signal(s) "
+            f"unresolved at cycle {cycle}: {names}{more}"
+        )
+
+
+class SignalConflictError(ElasticError):
+    """A node attempted to overwrite an already-resolved signal with a
+    different value during fix-point evaluation (non-monotone update)."""
+
+
+class ProtocolViolationError(ElasticError):
+    """A SELF protocol property (Retry+, Retry-, Invariant) was violated on
+    some channel.  Raised by the runtime monitors of :mod:`repro.sim.monitors`."""
+
+    def __init__(self, prop, channel, cycle, detail=""):
+        self.prop = prop
+        self.channel = channel
+        self.cycle = cycle
+        msg = f"protocol property {prop} violated on channel '{channel}' at cycle {cycle}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class TransformError(ElasticError):
+    """A correct-by-construction transformation could not be applied to the
+    given netlist (precondition not met)."""
+
+
+class VerificationError(ElasticError):
+    """A verification run (model checking, equivalence, leads-to) found a
+    counterexample or failed to complete."""
+
+
+class SchedulerError(ElasticError):
+    """A scheduler produced an illegal prediction (out of range channel)."""
+
+
+class BackendError(ElasticError):
+    """A back-end (Verilog / SMV / BLIF) could not emit the given design."""

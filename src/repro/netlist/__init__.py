@@ -1,0 +1,8 @@
+"""Elastic netlists: the abstract design representation of the paper's
+exploration toolkit — "a collection of modules and FIFOs connected by
+elastic channels" (Section 5)."""
+
+from repro.netlist.graph import Netlist
+from repro.netlist.dot import to_dot
+
+__all__ = ["Netlist", "to_dot"]

@@ -1,0 +1,50 @@
+"""Graphviz export — the "visualize the modified graph" feature of the
+Section 5 toolkit.  Elastic buffers are drawn as boxes annotated with their
+token count (the paper's dot-in-a-box notation), function blocks as
+ellipses, muxes as trapezia and shared modules as double octagons."""
+
+from __future__ import annotations
+
+_SHAPES = {
+    "eb": "box",
+    "zbl_eb": "box",
+    "func": "ellipse",
+    "eemux": "trapezium",
+    "shared": "doubleoctagon",
+    "fork": "triangle",
+    "source": "cds",
+    "sink": "cds",
+    "killer_sink": "cds",
+    "nondet_source": "cds",
+    "nondet_sink": "cds",
+}
+
+
+def _label(node):
+    if node.kind in ("eb", "zbl_eb"):
+        count = node.count
+        marks = "●" * count if count > 0 else ("○" * (-count) if count < 0 else "")
+        suffix = f"\\n{marks}" if marks else "\\n(empty)"
+        tag = " zbl" if node.kind == "zbl_eb" else ""
+        return f"{node.name}{tag}{suffix}"
+    if node.kind == "shared":
+        return f"{node.name}\\nshared x{node.n_channels}"
+    if getattr(node, "is_mux", False):
+        return f"{node.name}\\nmux"
+    return node.name
+
+
+def to_dot(netlist, rankdir="LR"):
+    """Render the netlist as a Graphviz dot string."""
+    lines = [f'digraph "{netlist.name}" {{', f"  rankdir={rankdir};"]
+    for node in netlist.nodes.values():
+        shape = _SHAPES.get(node.kind, "ellipse")
+        lines.append(f'  "{node.name}" [shape={shape}, label="{_label(node)}"];')
+    for channel in netlist.channels.values():
+        src, src_port = channel.producer
+        dst, dst_port = channel.consumer
+        lines.append(
+            f'  "{src}" -> "{dst}" [label="{channel.name}", fontsize=8];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""The elastic netlist container.
+
+A :class:`Netlist` owns nodes (elastic blocks) and channels, supports
+incremental construction, structural validation, deep copy (for
+transformations with undo), and is the single input to the simulator, the
+performance models, the verifier and the back-ends.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.elastic.channel import Channel, CONSUMER, PRODUCER
+from repro.elastic.node import Node, PortRole
+from repro.errors import NetlistError
+
+
+class Netlist:
+    """A named collection of elastic nodes connected by channels."""
+
+    def __init__(self, name="design"):
+        self.name = name
+        self.nodes = {}       # name -> Node
+        self.channels = {}    # name -> Channel
+
+    def __repr__(self):
+        return f"Netlist({self.name!r}, {len(self.nodes)} nodes, {len(self.channels)} channels)"
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, node):
+        """Add a node; returns it for chaining."""
+        if not isinstance(node, Node):
+            raise NetlistError(f"{node!r} is not a Node")
+        if node.name in self.nodes:
+            raise NetlistError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def connect(self, src, dst, name=None, width=8):
+        """Create a channel from ``src`` to ``dst``.
+
+        ``src``/``dst`` are ``"node.port"`` strings or ``(node_name, port)``
+        tuples; the port may be omitted for single-output / single-input
+        nodes (``"node"``).
+        """
+        src_node, src_port = self._resolve(src, PortRole.OUT)
+        dst_node, dst_port = self._resolve(dst, PortRole.IN)
+        if name is None:
+            name = f"{src_node}_{src_port}__{dst_node}_{dst_port}"
+        if name in self.channels:
+            raise NetlistError(f"duplicate channel name {name!r}")
+        channel = Channel(name, width=width)
+        channel.attach(PRODUCER, src_node, src_port)
+        channel.attach(CONSUMER, dst_node, dst_port)
+        self.nodes[src_node].bind(src_port, channel)
+        self.nodes[dst_node].bind(dst_port, channel)
+        self.channels[name] = channel
+        return channel
+
+    def _resolve(self, ref, role):
+        if isinstance(ref, tuple):
+            node_name, port = ref
+        elif "." in ref:
+            node_name, port = ref.split(".", 1)
+        else:
+            node_name, port = ref, None
+        if node_name not in self.nodes:
+            raise NetlistError(f"unknown node {node_name!r}")
+        node = self.nodes[node_name]
+        candidates = node.out_ports if role == PortRole.OUT else node.in_ports
+        if port is None:
+            free = [p for p in candidates if p not in node._channels]
+            if len(free) != 1:
+                raise NetlistError(
+                    f"cannot infer port on {node_name!r}: free {role} ports = {free}"
+                )
+            port = free[0]
+        if port not in candidates:
+            raise NetlistError(f"{node_name!r} has no {role} port {port!r}")
+        if port in node._channels:
+            raise NetlistError(f"port {node_name}.{port} is already connected")
+        return node_name, port
+
+    # -- editing (used by transformations) -----------------------------------------
+
+    def disconnect(self, channel_name):
+        """Remove a channel, unbinding both endpoints.
+
+        Returns ``(src, dst)`` endpoint tuples so callers can re-wire.
+        """
+        channel = self.channels.pop(channel_name)
+        src_node, src_port = channel.producer
+        dst_node, dst_port = channel.consumer
+        del self.nodes[src_node]._channels[src_port]
+        del self.nodes[dst_node]._channels[dst_port]
+        return (src_node, src_port), (dst_node, dst_port)
+
+    def remove(self, node_name):
+        """Remove a node; all its ports must already be disconnected."""
+        node = self.nodes[node_name]
+        if node._channels:
+            raise NetlistError(
+                f"cannot remove {node_name!r}: ports still connected: "
+                f"{sorted(node._channels)}"
+            )
+        del self.nodes[node_name]
+
+    def fresh_name(self, base):
+        """A node/channel name not yet in use."""
+        if base not in self.nodes and base not in self.channels:
+            return base
+        i = 1
+        while f"{base}_{i}" in self.nodes or f"{base}_{i}" in self.channels:
+            i += 1
+        return f"{base}_{i}"
+
+    def clone(self):
+        """Deep copy (nodes, channels, wiring, sequential state)."""
+        return copy.deepcopy(self)
+
+    # -- queries --------------------------------------------------------------------
+
+    def channel_of(self, node_name, port):
+        return self.nodes[node_name]._channels[port]
+
+    def producer_of(self, channel_name):
+        return self.channels[channel_name].producer
+
+    def consumer_of(self, channel_name):
+        return self.channels[channel_name].consumer
+
+    def nodes_of_kind(self, kind):
+        return [node for node in self.nodes.values() if node.kind == kind]
+
+    # -- validation -------------------------------------------------------------------
+
+    def validate(self):
+        """Raise :class:`NetlistError` unless every port of every node is
+        connected and every channel has both endpoints."""
+        problems = []
+        for node in self.nodes.values():
+            for port in node.ports:
+                if port not in node._channels:
+                    problems.append(f"dangling port {node.name}.{port}")
+        for channel in self.channels.values():
+            if channel.producer is None:
+                problems.append(f"channel {channel.name} has no producer")
+            if channel.consumer is None:
+                problems.append(f"channel {channel.name} has no consumer")
+            if channel.producer is not None:
+                node_name, port = channel.producer
+                if self.nodes.get(node_name) is None:
+                    problems.append(f"channel {channel.name} producer node missing")
+            if channel.consumer is not None:
+                node_name, port = channel.consumer
+                if self.nodes.get(node_name) is None:
+                    problems.append(f"channel {channel.name} consumer node missing")
+        if problems:
+            raise NetlistError("; ".join(problems))
+        return True
+
+    # -- state management (simulation / model checking) ---------------------------------
+
+    def reset(self):
+        for node in self.nodes.values():
+            node.reset()
+        for channel in self.channels.values():
+            channel.state.clear()
+
+    def snapshot(self):
+        return tuple(
+            (name, node.snapshot()) for name, node in sorted(self.nodes.items())
+        )
+
+    def restore(self, state):
+        for name, node_state in state:
+            self.nodes[name].restore(node_state)

@@ -1,0 +1,274 @@
+"""Canned netlists for the paper's figures and for testing.
+
+Figure 1 family
+---------------
+
+The Figure 1 loop models a branch-like micro-architecture: an elastic
+buffer holds the architectural token (think PC); ``G`` computes the select
+(branch outcome) for the next generation; two prepare blocks ``P0``/``P1``
+produce the candidate values (think PC+4 vs. branch target); a multiplexor
+picks one; ``F`` is the block on the critical cycle.
+
+Token values are ``(branch, generation)`` tuples: ``P_b`` maps a parent
+``(.., g)`` to candidate ``(b, g+1)``; ``G`` maps it to
+``sel_fn(g+1)`` — the select that will choose among generation ``g+1``;
+``F`` is the identity (the loop's observable stream is the sequence of
+selected candidates, which makes the four variants directly comparable).
+
+* :func:`fig1a` — non-speculative: ``F`` after the mux (critical cycle
+  ``EB -> G -> mux -> F -> EB``).
+* :func:`fig1b` — bubble inserted in the critical cycle: shorter cycle
+  time, throughput drops to 1/2.
+* :func:`fig1c` — Shannon decomposition: ``F`` duplicated onto both mux
+  inputs, throughput 1, duplicated area.
+* :func:`fig1d` — speculation: duplicated copies shared behind a scheduler
+  (built by applying the Section 4 pipeline to :func:`fig1a`).
+
+All variants return ``(netlist, names)`` where ``names`` maps canonical
+labels (``fin0``, ``fout0``, ``fin1``, ``fout1``, ``sel``, ``ebin``) to the
+actual channel names, so traces and stats can be addressed uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler import ToggleScheduler
+from repro.core.speculation import speculate
+from repro.elastic.buffers import ElasticBuffer
+from repro.elastic.environment import ListSource, Sink
+from repro.elastic.fork import EagerFork
+from repro.elastic.functional import Func, identity_block
+from repro.netlist.graph import Netlist
+from repro.transform.bubbles import insert_bubble
+from repro.transform.shannon import make_lazy_mux, shannon_decompose
+
+#: default block delays (normalized units) used across the Figure 1 studies;
+#: chosen so that G + mux + F is the critical cycle, as in the paper.
+FIG1_DELAYS = {"G": 4.0, "F": 5.0, "P": 0.5, "mux": 1.1}
+#: datapath area of the F block (normalized); P and G are small helpers.
+FIG1_AREAS = {"G": 60.0, "F": 150.0, "P": 8.0, "mux": 16.0}
+
+
+def _fig1_base(sel_fn, delays=None, areas=None, width=8):
+    """The common EB / fork / G / P0 / P1 skeleton (no mux or F yet)."""
+    delays = {**FIG1_DELAYS, **(delays or {})}
+    areas = {**FIG1_AREAS, **(areas or {})}
+    net = Netlist("fig1")
+    net.add(ElasticBuffer("eb", init=[(0, 0)], capacity=2))
+    net.add(EagerFork("fork", n_outputs=3))
+    net.add(
+        Func("G", lambda tok: sel_fn(tok[1] + 1), n_inputs=1,
+             delay=delays["G"], area_cost=areas["G"])
+    )
+    net.add(
+        Func("P0", lambda tok: (0, tok[1] + 1), n_inputs=1,
+             delay=delays["P"], area_cost=areas["P"])
+    )
+    net.add(
+        Func("P1", lambda tok: (1, tok[1] + 1), n_inputs=1,
+             delay=delays["P"], area_cost=areas["P"])
+    )
+    net.connect("eb.o", "fork.i", name="eb_fork", width=width)
+    net.connect("fork.o0", "G.i0", name="fork_g", width=width)
+    net.connect("fork.o1", "P0.i0", name="fork_p0", width=width)
+    net.connect("fork.o2", "P1.i0", name="fork_p1", width=width)
+    return net, delays, areas
+
+
+def fig1a(sel_fn, delays=None, areas=None, width=8):
+    """Figure 1(a): the non-speculative loop, ``F`` after the mux."""
+    net, delays, areas = _fig1_base(sel_fn, delays, areas, width)
+    net.add(make_lazy_mux("mux", n_inputs=2, delay=delays["mux"], area_cost=areas["mux"]))
+    net.add(Func("F", lambda tok: tok, n_inputs=1, delay=delays["F"], area_cost=areas["F"]))
+    net.connect("G.o", "mux.i0", name="sel_ch", width=4)
+    net.connect("P0.o", "mux.i1", name="fin0", width=width)
+    net.connect("P1.o", "mux.i2", name="fin1", width=width)
+    net.connect("mux.o", "F.i0", name="mux_f", width=width)
+    net.connect("F.o", "eb.i", name="ebin", width=width)
+    net.validate()
+    names = {
+        "fin0": "fin0",
+        "fin1": "fin1",
+        "sel": "sel_ch",
+        "ebin": "ebin",
+        "mux_out": "mux_f",
+    }
+    return net, names
+
+
+def fig1b(sel_fn, delays=None, areas=None, width=8):
+    """Figure 1(b): bubble inserted between the mux and ``F`` — the cycle
+    time improves but the single-token loop now takes two cycles."""
+    net, names = fig1a(sel_fn, delays, areas, width)
+    _, eb_name = insert_bubble(net, "mux_f", name="bubble")
+    names["bubble"] = eb_name
+    return net, names
+
+
+def fig1c(sel_fn, delays=None, areas=None, width=8):
+    """Figure 1(c): Shannon decomposition — ``F`` moves onto both mux
+    inputs; the (still lazy) mux consumes every input each firing."""
+    net, names = fig1a(sel_fn, delays, areas, width)
+    record = shannon_decompose(net, "mux", "F")
+    copies = record.details["copies"]
+    names.update(
+        {
+            "fin0": "fin0",
+            "fout0": "fin0__tail",
+            "fin1": "fin1",
+            "fout1": "fin1__tail",
+            "ebin": "mux_f",
+            "copies": copies,
+        }
+    )
+    # After the rewrite the mux output channel feeds the EB directly.
+    names["mux_out"] = "mux_f"
+    return net, names
+
+
+def fig1d(sel_fn, scheduler=None, buffers="none", delays=None, areas=None, width=8):
+    """Figure 1(d): the speculative design, built by applying the Section 4
+    pipeline (Shannon -> early evaluation -> sharing) to Figure 1(a).
+
+    ``scheduler`` defaults to the paper's Table 1 toggle scheduler.
+    """
+    net, names = fig1a(sel_fn, delays, areas, width)
+    scheduler = scheduler or ToggleScheduler(2)
+    report = speculate(net, "mux", "F", scheduler, buffers=buffers)
+    names.update(
+        {
+            "fin0": "fin0",
+            "fout0": "fin0__tail",
+            "fin1": "fin1",
+            "fout1": "fin1__tail",
+            "ebin": "mux_f",
+            "mux_out": "mux_f",
+            "shared": report.shared,
+            "buffers": report.buffer_names,
+        }
+    )
+    return net, names
+
+
+#: the select stream of Table 1 (generation k gets select TABLE1_SEL[k]).
+TABLE1_SEL = (None, 0, 1, 1, 0, 0)
+
+
+def table1_sel_fn(generation):
+    """Select function reproducing Table 1; defaults to 0 past the table."""
+    if 0 < generation < len(TABLE1_SEL):
+        return TABLE1_SEL[generation]
+    return 0
+
+
+def table1_design():
+    """The exact configuration of Table 1: Figure 1(d) with the toggle
+    scheduler and no buffers between shared module and mux."""
+    return fig1d(table1_sel_fn, scheduler=ToggleScheduler(2, start=0), buffers="none")
+
+
+def kway_loop(sel_fn, k=3, delays=None, areas=None, width=8):
+    """Generalized Figure 1(a) with a ``k``-way multiplexor.
+
+    Section 4.1, footnote 1: "the consideration below can be easily
+    generalized for sharing of k blocks" — this pattern (plus
+    :func:`repro.core.speculation.speculate`) exercises exactly that.
+    Tokens are ``(branch, generation)`` as in the 2-way variants; ``P_b``
+    produces candidate ``b`` and ``G`` emits selects in ``[0, k)``.
+    """
+    delays = {**FIG1_DELAYS, **(delays or {})}
+    areas = {**FIG1_AREAS, **(areas or {})}
+    net = Netlist(f"fig1_{k}way")
+    net.add(ElasticBuffer("eb", init=[(0, 0)], capacity=2))
+    net.add(EagerFork("fork", n_outputs=k + 1))
+    net.add(
+        Func("G", lambda tok: sel_fn(tok[1] + 1), n_inputs=1,
+             delay=delays["G"], area_cost=areas["G"])
+    )
+    net.connect("eb.o", "fork.i", name="eb_fork", width=width)
+    net.connect("fork.o0", "G.i0", name="fork_g", width=width)
+    net.add(make_lazy_mux("mux", n_inputs=k, delay=delays["mux"],
+                          area_cost=areas["mux"]))
+    net.connect("G.o", "mux.i0", name="sel_ch", width=4)
+    for b in range(k):
+        branch = b  # bind per-iteration
+        net.add(
+            Func(f"P{b}", lambda tok, _b=branch: (_b, tok[1] + 1), n_inputs=1,
+                 delay=delays["P"], area_cost=areas["P"])
+        )
+        net.connect(f"fork.o{b + 1}", f"P{b}.i0", name=f"fork_p{b}", width=width)
+        net.connect(f"P{b}.o", f"mux.i{b + 1}", name=f"fin{b}", width=width)
+    net.add(Func("F", lambda tok: tok, n_inputs=1, delay=delays["F"],
+                 area_cost=areas["F"]))
+    net.connect("mux.o", "F.i0", name="mux_f", width=width)
+    net.connect("F.o", "eb.i", name="ebin", width=width)
+    net.validate()
+    names = {"ebin": "ebin", "mux_out": "mux_f",
+             "fins": tuple(f"fin{b}" for b in range(k))}
+    return net, names
+
+
+# ---------------------------------------------------------------------------
+# Simple structures for unit tests and analytical cross-checks
+# ---------------------------------------------------------------------------
+
+
+def eb_chain(n_stages, n_tokens=0, capacity=2, source_values=None, stall_rate=0.0, seed=0):
+    """source -> EB^n -> sink pipeline.
+
+    ``n_tokens`` <= ``n_stages`` initial tokens are placed in the first
+    buffers (values 1000, 1001, ...).
+    """
+    net = Netlist("eb_chain")
+    values = source_values if source_values is not None else list(range(64))
+    net.add(ListSource("src", values))
+    prev = "src.o"
+    for i in range(n_stages):
+        init = [1000 + i] if i < n_tokens else []
+        eb = net.add(ElasticBuffer(f"eb{i}", init=init, capacity=capacity))
+        net.connect(prev, f"eb{i}.i", name=f"ch{i}")
+        prev = f"eb{i}.o"
+    net.add(Sink("snk", stall_rate=stall_rate, seed=seed))
+    net.connect(prev, "snk.i", name="out")
+    net.validate()
+    return net
+
+
+def token_ring(n_stages, n_tokens, capacity=2, observe="ring0"):
+    """A closed ring of ``n_stages`` EBs holding ``n_tokens`` tokens.
+
+    Analytical throughput is ``min(n_tokens, n_stages*(capacity-1)) /
+    n_stages`` transfers/cycle for capacity-2 buffers — the marked-graph
+    cross-check used by the MCR tests.
+    """
+    if not 0 <= n_tokens <= n_stages * capacity:
+        raise ValueError("token count must fit the ring capacity")
+    net = Netlist("ring")
+    remaining = n_tokens
+    for i in range(n_stages):
+        take = min(remaining, capacity)
+        init = [i * 100 + j for j in range(take)]
+        remaining -= take
+        net.add(ElasticBuffer(f"eb{i}", init=init, capacity=capacity))
+    for i in range(n_stages):
+        nxt = (i + 1) % n_stages
+        net.connect(f"eb{i}.o", f"eb{nxt}.i", name=f"ring{i}")
+    net.validate()
+    return net
+
+
+def pipeline_with_func(values, fn, n_stages=2, stall_rate=0.0, seed=0, delay=1.0):
+    """source -> EB -> Func(fn) -> EB -> ... -> sink (for equivalence and
+    monitor tests)."""
+    net = Netlist("pipe")
+    net.add(ListSource("src", list(values)))
+    prev = "src.o"
+    for i in range(n_stages):
+        eb = net.add(ElasticBuffer(f"eb{i}", capacity=2))
+        net.connect(prev, f"eb{i}.i", name=f"in{i}")
+        func = net.add(Func(f"f{i}", fn, n_inputs=1, delay=delay))
+        net.connect(f"eb{i}.o", f"f{i}.i0", name=f"mid{i}")
+        prev = f"f{i}.o"
+    net.add(Sink("snk", stall_rate=stall_rate, seed=seed))
+    net.connect(prev, "snk.i", name="out")
+    net.validate()
+    return net

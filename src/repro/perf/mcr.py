@@ -1,0 +1,144 @@
+"""Analytical throughput of plain elastic designs: minimum cycle ratio.
+
+A plain elastic network (no early evaluation) behaves as a *marked graph*;
+its steady-state throughput is limited by the worst cycle:
+
+    throughput = min over directed cycles C of  tokens(C) / latency(C)
+
+capped at 1 transfer/cycle.  Each elastic buffer contributes a forward edge
+(latency ``Lf``, marking = its tokens) and a backward edge (latency ``Lb``,
+marking = capacity - tokens); the backward edges express finite capacity —
+they are why a capacity-1 buffer (``C < Lf + Lb``) halves throughput, and
+why the Figure 1(b) bubble-in-a-one-token-loop yields exactly 1/2.
+
+Early evaluation and speculation *break* the marked-graph abstraction (that
+is the point of the paper); for those designs use simulation
+(:mod:`repro.perf.throughput`).  :func:`marked_graph_throughput` refuses
+early-evaluation designs unless ``force=True``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import networkx as nx
+
+from repro.errors import NetlistError
+
+
+def _cloud_graph(netlist):
+    """Contract combinational regions into clouds; EBs become weighted edges.
+
+    Clouds are formed over *channels*: two channels belong to the same
+    cloud when a combinational (non-buffer) node connects them.  Each
+    elastic buffer then contributes a forward edge (latency ``Lf``, marking
+    = its tokens) from its input-channel cloud to its output-channel cloud,
+    and a backward capacity edge (latency ``Lb``, marking = capacity -
+    tokens).  Returns a MultiDiGraph whose edges carry ``tokens`` and
+    ``latency``.
+    """
+    parent = {name: name for name in netlist.channels}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    buffers = []
+    for node in netlist.nodes.values():
+        if node.kind in ("eb", "zbl_eb"):
+            buffers.append(node)
+            continue
+        connected = [node.channel(p).name for p in node.ports if p in node._channels]
+        for other in connected[1:]:
+            union(connected[0], other)
+    graph = nx.MultiDiGraph()
+    for eb in buffers:
+        src_cloud = find(eb.channel("i").name)
+        dst_cloud = find(eb.channel("o").name)
+        tokens = max(eb.count, 0)
+        anti = max(-eb.count, 0)
+        lf = 1
+        lb = 0 if eb.kind == "zbl_eb" else 1
+        graph.add_edge(src_cloud, dst_cloud, tokens=tokens - anti, latency=lf, eb=eb.name)
+        graph.add_edge(
+            dst_cloud, src_cloud,
+            tokens=eb.capacity - tokens + anti, latency=lb, eb=f"{eb.name}~cap",
+        )
+    return graph
+
+
+def _has_early_eval(netlist):
+    return any(node.kind in ("eemux", "shared") for node in netlist.nodes.values())
+
+
+def min_cycle_ratio(netlist, force=False):
+    """Minimum tokens/latency over all cycles, as a :class:`Fraction`,
+    or ``None`` when the design has no cycles (throughput then 1.0).
+
+    Raises on zero-latency cycles (combinational capacity loops) and on
+    cycles with non-positive marking (structural deadlock)."""
+    if _has_early_eval(netlist) and not force:
+        raise NetlistError(
+            "marked-graph analysis is not valid for early-evaluation / "
+            "speculative designs; use simulation (pass force=True to override)"
+        )
+    graph = _cloud_graph(netlist)
+    best = None
+    # Collapse the multigraph for cycle enumeration, keeping parallel edges
+    # as alternatives: enumerate cycles on the simple projection, then take
+    # the per-hop minimum-ratio edge (any cycle through a parallel edge pair
+    # is dominated by the worse edge).
+    simple = nx.DiGraph()
+    for u, v, data in graph.edges(data=True):
+        if simple.has_edge(u, v):
+            simple.edges[u, v]["variants"].append(data)
+        else:
+            simple.add_edge(u, v, variants=[data])
+    for cycle in nx.simple_cycles(simple):
+        pairs = list(zip(cycle, cycle[1:] + cycle[:1]))
+        for choice in _edge_choices(simple, pairs):
+            tokens = sum(d["tokens"] for d in choice)
+            latency = sum(d["latency"] for d in choice)
+            if latency == 0:
+                if tokens <= 0:
+                    raise NetlistError(
+                        "zero-latency cycle with no slack (combinational "
+                        "capacity loop)"
+                    )
+                continue
+            if tokens <= 0:
+                raise NetlistError(
+                    f"cycle with {tokens} tokens and latency {latency}: "
+                    "structural deadlock"
+                )
+            ratio = Fraction(tokens, latency)
+            if best is None or ratio < best:
+                best = ratio
+    return best
+
+
+def _edge_choices(simple, pairs):
+    """All combinations of parallel-edge variants along a cycle (bounded:
+    parallel pairs only arise from EB forward/backward duals)."""
+    choices = [[]]
+    for u, v in pairs:
+        variants = simple.edges[u, v]["variants"]
+        choices = [prefix + [d] for prefix in choices for d in variants]
+        if len(choices) > 4096:
+            raise NetlistError("cycle enumeration blew up; netlist too dense")
+    return choices
+
+
+def marked_graph_throughput(netlist, force=False):
+    """Analytical steady-state throughput in transfers/cycle (<= 1.0)."""
+    ratio = min_cycle_ratio(netlist, force=force)
+    if ratio is None:
+        return 1.0
+    return min(1.0, float(ratio))

@@ -1,0 +1,15 @@
+"""Cycle-accurate simulation of elastic netlists: combinational fix-point
+evaluation, clocking, SELF protocol monitors, trace capture and statistics."""
+
+from repro.sim.engine import Simulator
+from repro.sim.monitors import ProtocolMonitor
+from repro.sim.trace import TraceRecorder, format_trace_table
+from repro.sim.stats import ChannelStats
+
+__all__ = [
+    "Simulator",
+    "ProtocolMonitor",
+    "TraceRecorder",
+    "format_trace_table",
+    "ChannelStats",
+]

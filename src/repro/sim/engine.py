@@ -1,0 +1,131 @@
+"""The elastic simulator.
+
+Each clock cycle proceeds in four phases:
+
+1. **pre-cycle** — every node freezes its randomized / nondeterministic
+   choices for the cycle;
+2. **combinational fix-point** — node ``comb`` functions are evaluated
+   repeatedly (over three-valued signals, all starting unknown) until no
+   signal changes.  Monotonicity of the node logic guarantees convergence;
+   signals still unknown at the fix-point indicate a genuine combinational
+   cycle and raise :class:`~repro.errors.CombinationalLoopError` — the
+   hazard the paper warns about when chaining zero-backward-latency buffers;
+3. **observation** — protocol monitors, statistics and traces sample the
+   resolved channels;
+4. **tick** — every node updates its sequential state.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CombinationalLoopError
+from repro.sim.monitors import ProtocolMonitor
+from repro.sim.stats import ChannelStats
+
+
+class Simulator:
+    """Drives a :class:`~repro.netlist.graph.Netlist` cycle by cycle.
+
+    Parameters
+    ----------
+    netlist:
+        The design; it is validated and reset on construction.
+    check_protocol:
+        Install runtime monitors for the SELF properties (Retry+, Retry-,
+        Invariant) on every channel; violations raise immediately.
+    observers:
+        Optional iterable of objects with an ``observe(cycle, netlist)``
+        method called after each fix-point (trace recorders etc.).
+    max_iterations:
+        Safety bound on fix-point sweeps per cycle.
+    """
+
+    def __init__(self, netlist, check_protocol=True, observers=(), max_iterations=None):
+        netlist.validate()
+        self.netlist = netlist
+        self.cycle = 0
+        self.observers = list(observers)
+        self.stats = ChannelStats(netlist)
+        self.monitor = ProtocolMonitor(netlist) if check_protocol else None
+        # Each sweep propagates information at least one node further, so
+        # #nodes + 2 sweeps always suffice for a resolvable network.
+        self.max_iterations = max_iterations or (len(netlist.nodes) + 2)
+        self._nodes = list(netlist.nodes.values())
+        self._channels = list(netlist.channels.values())
+        netlist.reset()
+
+    # -- per-cycle phases ----------------------------------------------------------
+
+    def _fixpoint(self):
+        for channel in self._channels:
+            channel.state.clear()
+        for _sweep in range(self.max_iterations):
+            changed = False
+            for node in self._nodes:
+                changed |= bool(node.comb())
+            if not changed:
+                break
+        unresolved = []
+        for channel in self._channels:
+            if not channel.state.resolved():
+                unresolved.extend(
+                    f"{channel.name}.{sig}" for sig in channel.state.unresolved_signals()
+                )
+            elif channel.state.vp and channel.state.data is None:
+                unresolved.append(f"{channel.name}.data")
+        if unresolved:
+            raise CombinationalLoopError(unresolved, cycle=self.cycle)
+
+    def step(self):
+        """Advance one clock cycle; returns the cycle index just completed."""
+        for node in self._nodes:
+            node.pre_cycle()
+        self._fixpoint()
+        if self.monitor is not None:
+            self.monitor.observe(self.cycle)
+        self.stats.observe(self.cycle)
+        for observer in self.observers:
+            observer.observe(self.cycle, self.netlist)
+        for node in self._nodes:
+            node.tick()
+        done = self.cycle
+        self.cycle += 1
+        return done
+
+    def run(self, n_cycles):
+        """Run ``n_cycles`` cycles; returns ``self`` for chaining."""
+        for _ in range(n_cycles):
+            self.step()
+        return self
+
+    # -- model-checking support -------------------------------------------------------
+
+    def state(self):
+        return self.netlist.snapshot()
+
+    def load_state(self, state):
+        self.netlist.restore(state)
+
+    def choice_nodes(self):
+        """Nodes with a nondeterministic choice this cycle."""
+        return [node for node in self._nodes if node.choice_space() > 1]
+
+    def step_with_choices(self, choices):
+        """One cycle with explicit environment choices.
+
+        ``choices`` maps node name -> choice index; unnamed choice nodes get
+        choice 0.  Returns the list of per-channel events (for property
+        evaluation by the model checker).
+        """
+        for node in self._nodes:
+            if node.choice_space() > 1:
+                node.set_choice(choices.get(node.name, 0))
+        for node in self._nodes:
+            node.pre_cycle()
+        self._fixpoint()
+        if self.monitor is not None:
+            self.monitor.observe(self.cycle)
+        events = {channel.name: channel.events() for channel in self._channels}
+        for node in self._nodes:
+            node.tick()
+        self.cycle += 1
+        return events

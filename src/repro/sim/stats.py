@@ -1,0 +1,89 @@
+"""Per-channel statistics: transfers, cancellations, anti-token movements,
+stall cycles — the raw material for throughput measurements."""
+
+from __future__ import annotations
+
+
+class ChannelStats:
+    """Counts channel events over a simulation run."""
+
+    def __init__(self, netlist):
+        self.netlist = netlist
+        self.cycles = 0
+        self.transfers = {name: 0 for name in netlist.channels}
+        self.cancels = {name: 0 for name in netlist.channels}
+        self.backwards = {name: 0 for name in netlist.channels}
+        self.stalls = {name: 0 for name in netlist.channels}
+        self.idles = {name: 0 for name in netlist.channels}
+
+    def observe(self, cycle):
+        for name, channel in self.netlist.channels.items():
+            events = channel.events()
+            if events.forward:
+                self.transfers[name] += 1
+            elif events.cancel:
+                self.cancels[name] += 1
+            elif events.backward:
+                self.backwards[name] += 1
+            elif channel.state.vp and channel.state.sp:
+                self.stalls[name] += 1
+            else:
+                self.idles[name] += 1
+        self.cycles += 1
+
+    def throughput(self, channel_name):
+        """Forward transfers per cycle on the given channel."""
+        if self.cycles == 0:
+            return 0.0
+        return self.transfers[channel_name] / self.cycles
+
+    def utilization(self, channel_name):
+        """Fraction of cycles the channel carried any event."""
+        if self.cycles == 0:
+            return 0.0
+        busy = (
+            self.transfers[channel_name]
+            + self.cancels[channel_name]
+            + self.backwards[channel_name]
+        )
+        return busy / self.cycles
+
+    def summary(self):
+        """One dict per channel — handy for tabular reports."""
+        rows = []
+        for name in self.netlist.channels:
+            rows.append(
+                {
+                    "channel": name,
+                    "transfers": self.transfers[name],
+                    "cancels": self.cancels[name],
+                    "backwards": self.backwards[name],
+                    "stalls": self.stalls[name],
+                    "throughput": self.throughput(name),
+                }
+            )
+        return rows
+
+
+class TransferLog:
+    """Observer recording the transfer stream of selected channels.
+
+    Transfer equivalence (Section 3.1) compares exactly these streams:
+    "the output streams considering only transfer cycles".
+    """
+
+    def __init__(self, channels):
+        self.channel_names = list(channels)
+        self.streams = {name: [] for name in self.channel_names}
+
+    def observe(self, cycle, netlist):
+        for name in self.channel_names:
+            events = netlist.channels[name].events()
+            if events.forward:
+                self.streams[name].append((cycle, events.data))
+
+    def values(self, channel):
+        return [value for _cycle, value in self.streams[channel]]
+
+    def cycles(self, channel):
+        return [cycle for cycle, _value in self.streams[channel]]

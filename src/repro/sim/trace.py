@@ -1,0 +1,172 @@
+"""Trace recording and rendering.
+
+:class:`TraceRecorder` samples selected channels every cycle and can render
+them in the style of Table 1 of the paper:
+
+* ``-`` — an anti-token is present in the channel (``V-`` asserted; this
+  includes the cycle where it cancels a token);
+* a letter — a valid token (letters are assigned to distinct data values in
+  order of first visible appearance, exactly as the paper labels tokens
+  ``A``, ``B``, ``C`` ...);
+* ``*`` — a bubble (no token, no anti-token).
+
+A VCD writer is included for waveform inspection of any simulation.
+"""
+
+from __future__ import annotations
+
+import string
+
+
+def _letters():
+    """A, B, ..., Z, AA, AB, ... — unbounded label generator."""
+    alphabet = string.ascii_uppercase
+    i = 0
+    while True:
+        label = ""
+        n = i
+        while True:
+            label = alphabet[n % 26] + label
+            n = n // 26 - 1
+            if n < 0:
+                break
+        yield label
+        i += 1
+
+
+class TraceRecorder:
+    """Observer that samples channel control/data values every cycle.
+
+    Parameters
+    ----------
+    channels:
+        Ordered channel names to record (order fixes letter assignment).
+    aliases:
+        Optional mapping channel name -> display row label.
+    """
+
+    def __init__(self, channels, aliases=None):
+        self.channel_names = list(channels)
+        self.aliases = dict(aliases or {})
+        self.samples = []     # cycle -> {channel: (vp, sp, vm, sm, data)}
+
+    def observe(self, cycle, netlist):
+        row = {}
+        for name in self.channel_names:
+            st = netlist.channels[name].state
+            row[name] = (bool(st.vp), bool(st.sp), bool(st.vm), bool(st.sm), st.data)
+        self.samples.append(row)
+
+    # -- symbolic rendering ------------------------------------------------------
+
+    def symbol_rows(self):
+        """Per-channel symbol strings using the Table 1 notation."""
+        labels = {}
+        letter_gen = _letters()
+        rows = {name: [] for name in self.channel_names}
+        for sample in self.samples:
+            for name in self.channel_names:
+                vp, _sp, vm, _sm, data = sample[name]
+                if vm:
+                    rows[name].append("-")
+                elif vp:
+                    key = _freeze(data)
+                    if key not in labels:
+                        labels[key] = next(letter_gen)
+                    rows[name].append(labels[key])
+                else:
+                    rows[name].append("*")
+        return rows
+
+    def value_rows(self, fmt=None):
+        """Per-channel rows of raw token values (None when no token)."""
+        fmt = fmt or (lambda v: v)
+        rows = {name: [] for name in self.channel_names}
+        for sample in self.samples:
+            for name in self.channel_names:
+                vp, _sp, _vm, _sm, data = sample[name]
+                rows[name].append(fmt(data) if vp else None)
+        return rows
+
+    def display_name(self, channel):
+        return self.aliases.get(channel, channel)
+
+
+def _freeze(value):
+    if isinstance(value, list):
+        return tuple(value)
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value
+
+
+def format_trace_table(recorder, extra_rows=None, title=None):
+    """Render a recorder (plus optional extra rows) as a Table-1-style text
+    table.  ``extra_rows`` is an ordered mapping label -> list of cell
+    strings (e.g. the ``Sel`` and ``Sched`` rows)."""
+    sym = recorder.symbol_rows()
+    n = len(recorder.samples)
+    rows = [("Cycle", [str(i) for i in range(n)])]
+    for name in recorder.channel_names:
+        rows.append((recorder.display_name(name), sym[name]))
+    for label, cells in (extra_rows or {}).items():
+        rows.append((label, [str(c) for c in cells[:n]]))
+    label_w = max(len(label) for label, _ in rows)
+    cell_w = max(
+        (len(cell) for _, cells in rows for cell in cells),
+        default=1,
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    for label, cells in rows:
+        padded = " ".join(cell.rjust(cell_w) for cell in cells)
+        lines.append(f"{label.ljust(label_w)}  {padded}")
+    return "\n".join(lines)
+
+
+class VcdWriter:
+    """Minimal VCD dumper for the control bits of selected channels.
+
+    Use as an observer; call :meth:`write` after the run.
+    """
+
+    def __init__(self, channels):
+        self.channel_names = list(channels)
+        self.samples = []
+
+    def observe(self, cycle, netlist):
+        row = {}
+        for name in self.channel_names:
+            st = netlist.channels[name].state
+            row[name] = (bool(st.vp), bool(st.sp), bool(st.vm), bool(st.sm))
+        self.samples.append(row)
+
+    def write(self, path, timescale="1ns"):
+        codes = {}
+        code_gen = (chr(c) for c in range(33, 127))
+        lines = [f"$timescale {timescale} $end", "$scope module elastic $end"]
+        for name in self.channel_names:
+            for sig in ("vp", "sp", "vm", "sm"):
+                code = next(code_gen)
+                codes[(name, sig)] = code
+                lines.append(f"$var wire 1 {code} {name}_{sig} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        prev = {}
+        for cycle, row in enumerate(self.samples):
+            emitted_time = False
+            for name in self.channel_names:
+                vp, sp, vm, sm = row[name]
+                for sig, value in (("vp", vp), ("sp", sp), ("vm", vm), ("sm", sm)):
+                    key = (name, sig)
+                    if prev.get(key) != value:
+                        if not emitted_time:
+                            lines.append(f"#{cycle}")
+                            emitted_time = True
+                        lines.append(f"{int(value)}{codes[key]}")
+                        prev[key] = value
+        lines.append(f"#{len(self.samples)}")
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        return path

@@ -1,0 +1,8 @@
+"""Technology modelling: a toy 65 nm-style gate library, a structural gate
+IR with evaluation / area / delay analysis, and helpers to estimate elastic
+controller overheads."""
+
+from repro.tech.library import TechLibrary, GateSpec, DEFAULT_TECH
+from repro.tech.gates import GateNetlist, Gate
+
+__all__ = ["TechLibrary", "GateSpec", "DEFAULT_TECH", "GateNetlist", "Gate"]

@@ -1,0 +1,37 @@
+"""Early-evaluation conversion (Section 3.3, ref [7]).
+
+Replaces a conventional (lazy) multiplexor — which waits for the select
+token *and every* data token — by an :class:`EarlyEvalMux` that fires as
+soon as the selected token is available and sends anti-tokens into the
+non-selected channels.  Only the controller changes; the datapath function
+is identical, so the rewrite preserves transfer equivalence.
+"""
+
+from __future__ import annotations
+
+from repro.elastic.eemux import EarlyEvalMux
+from repro.errors import TransformError
+from repro.transform.base import TransformRecord, replace_node
+
+
+def convert_to_early_eval(netlist, mux_name, delay=None):
+    """Convert lazy mux ``mux_name`` (built by ``make_lazy_mux``) into an
+    early-evaluation mux with identical connectivity."""
+    node = netlist.nodes.get(mux_name)
+    if node is None:
+        raise TransformError(f"no node {mux_name!r}")
+    if isinstance(node, EarlyEvalMux):
+        raise TransformError(f"{mux_name!r} is already an early-evaluation mux")
+    if not getattr(node, "is_mux", False):
+        raise TransformError(
+            f"{mux_name!r} is not a multiplexor (tag it via make_lazy_mux)"
+        )
+    n = node.n_data_inputs
+    eemux = EarlyEvalMux(
+        mux_name, n_inputs=n, delay=node.delay if delay is None else delay
+    )
+    port_map = {"i0": "s", "o": "o"}
+    for j in range(n):
+        port_map[f"i{j + 1}"] = f"i{j}"
+    replace_node(netlist, mux_name, eemux, port_map)
+    return TransformRecord("convert_to_early_eval", {"mux": mux_name, "inputs": n})

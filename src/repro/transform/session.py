@@ -1,0 +1,185 @@
+"""Scripted design-space exploration (the Section 5 toolkit).
+
+"Our toolkit can apply all of the known correct-by-construction
+transformations under the user guidance in the form of command scripts
+within an interactive shell ... The user can perform transformations,
+visualize the modified graph, undo and redo the transformations."
+
+:class:`Session` provides exactly that: named transformations applied to a
+working copy of the design, an undo/redo stack, a command-string interface
+for scripts, dot export and performance reports.
+"""
+
+from __future__ import annotations
+
+import shlex
+
+from repro.errors import TransformError
+from repro.transform.bubbles import insert_bubble, insert_zbl_buffer, remove_empty_buffer
+from repro.transform.early_eval import convert_to_early_eval
+from repro.transform.retiming import retime_backward, retime_forward
+from repro.transform.shannon import shannon_decompose
+from repro.transform.sharing import share_blocks
+
+
+class Session:
+    """An undoable transformation session over an elastic netlist."""
+
+    def __init__(self, netlist, max_history=64):
+        self.netlist = netlist.clone()
+        self.max_history = max_history
+        self._undo = []
+        self._redo = []
+        self.log = []
+
+    # -- core mechanics --------------------------------------------------------
+
+    def _apply(self, kind, fn, *args, **kwargs):
+        before = self.netlist.clone()
+        try:
+            result = fn(self.netlist, *args, **kwargs)
+        except Exception:
+            self.netlist = before
+            raise
+        self.netlist.validate()
+        self._undo.append((kind, before))
+        if len(self._undo) > self.max_history:
+            self._undo.pop(0)
+        self._redo.clear()
+        self.log.append(kind)
+        return result
+
+    def undo(self):
+        if not self._undo:
+            raise TransformError("nothing to undo")
+        kind, before = self._undo.pop()
+        self._redo.append((kind, self.netlist))
+        self.netlist = before
+        self.log.append(f"undo {kind}")
+        return kind
+
+    def redo(self):
+        if not self._redo:
+            raise TransformError("nothing to redo")
+        kind, after = self._redo.pop()
+        self._undo.append((kind, self.netlist))
+        self.netlist = after
+        self.log.append(f"redo {kind}")
+        return kind
+
+    # -- named transformations --------------------------------------------------
+
+    def insert_bubble(self, channel, name=None, capacity=2):
+        return self._apply(
+            f"insert_bubble {channel}", insert_bubble, channel, name=name, capacity=capacity
+        )
+
+    def insert_zbl(self, channel, name=None):
+        return self._apply(f"insert_zbl {channel}", insert_zbl_buffer, channel, name=name)
+
+    def remove_buffer(self, eb):
+        return self._apply(f"remove_buffer {eb}", remove_empty_buffer, eb)
+
+    def retime_forward(self, func):
+        return self._apply(f"retime_forward {func}", retime_forward, func)
+
+    def retime_backward(self, eb):
+        return self._apply(f"retime_backward {eb}", retime_backward, eb)
+
+    def shannon(self, mux, func):
+        return self._apply(f"shannon {mux} {func}", shannon_decompose, mux, func)
+
+    def early_eval(self, mux):
+        return self._apply(f"early_eval {mux}", convert_to_early_eval, mux)
+
+    def share(self, funcs, scheduler, name=None):
+        return self._apply(
+            f"share {' '.join(funcs)}", share_blocks, list(funcs), scheduler, name=name
+        )
+
+    # -- command-string interface --------------------------------------------------
+
+    def run_command(self, command, schedulers=None):
+        """Execute one command string, e.g.::
+
+            insert_bubble ch_f_out
+            shannon mux0 F
+            early_eval mux0
+            share F_c0 F_c1 --scheduler=toggle
+            undo / redo
+
+        ``schedulers`` maps names usable in ``--scheduler=`` to factory
+        callables ``(n_channels) -> Scheduler``.
+        """
+        from repro.core.scheduler import (
+            PrimaryScheduler,
+            RepairScheduler,
+            StaticScheduler,
+            ToggleScheduler,
+        )
+
+        default_factories = {
+            "toggle": lambda n: ToggleScheduler(n),
+            "repair": lambda n: RepairScheduler(n),
+            "static": lambda n: StaticScheduler(n),
+            "primary": lambda n: PrimaryScheduler(n),
+        }
+        factories = {**default_factories, **(schedulers or {})}
+        parts = shlex.split(command)
+        if not parts:
+            return None
+        op, args = parts[0], parts[1:]
+        options = {}
+        positional = []
+        for arg in args:
+            if arg.startswith("--"):
+                key, _, value = arg[2:].partition("=")
+                options[key] = value or True
+            else:
+                positional.append(arg)
+        if op == "insert_bubble":
+            return self.insert_bubble(positional[0])
+        if op == "insert_zbl":
+            return self.insert_zbl(positional[0])
+        if op == "remove_buffer":
+            return self.remove_buffer(positional[0])
+        if op == "retime_forward":
+            return self.retime_forward(positional[0])
+        if op == "retime_backward":
+            return self.retime_backward(positional[0])
+        if op == "shannon":
+            return self.shannon(positional[0], positional[1])
+        if op == "early_eval":
+            return self.early_eval(positional[0])
+        if op == "share":
+            factory_name = options.get("scheduler", "toggle")
+            if factory_name not in factories:
+                raise TransformError(f"unknown scheduler {factory_name!r}")
+            scheduler = factories[factory_name](len(positional))
+            return self.share(positional, scheduler, name=options.get("name"))
+        if op == "undo":
+            return self.undo()
+        if op == "redo":
+            return self.redo()
+        raise TransformError(f"unknown command {op!r}")
+
+    def run_script(self, script, schedulers=None):
+        """Run a multi-line command script (``#`` starts a comment)."""
+        results = []
+        for line in script.splitlines():
+            line = line.split("#", 1)[0].strip()
+            if line:
+                results.append(self.run_command(line, schedulers=schedulers))
+        return results
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def to_dot(self):
+        from repro.netlist.dot import to_dot
+
+        return to_dot(self.netlist)
+
+    def report(self, tech=None, sel_stream=None):
+        from repro.perf.report import performance_report
+
+        return performance_report(self.netlist, tech=tech)

@@ -1,0 +1,21 @@
+"""Verification: explicit-state model checking of elastic controllers with
+nondeterministic environments (the role NuSMV plays in Section 4.2),
+deadlock detection, scheduler leads-to (starvation) analysis and transfer
+equivalence checking."""
+
+from repro.verif.explore import StateExplorer, ExplorationResult
+from repro.verif.properties import check_invariant, check_retry
+from repro.verif.deadlock import find_deadlocks
+from repro.verif.leads_to import check_leads_to
+from repro.verif.equivalence import transfer_streams, assert_transfer_equivalent
+
+__all__ = [
+    "StateExplorer",
+    "ExplorationResult",
+    "check_invariant",
+    "check_retry",
+    "find_deadlocks",
+    "check_leads_to",
+    "transfer_streams",
+    "assert_transfer_equivalent",
+]

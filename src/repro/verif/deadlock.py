@@ -1,0 +1,43 @@
+"""Deadlock detection over an explored state graph.
+
+A state is *deadlocked* when no sequence of environment / scheduler choices
+starting from it can ever produce another token or anti-token movement.
+The paper verifies "the absence of deadlocks ... for any scheduler that
+complies with the leads-to property"; we verify it by direct reachability:
+mark every state from which a productive transition is reachable, and
+report the rest.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+def find_deadlocks(result):
+    """Deadlocked state indices of an :class:`ExplorationResult`."""
+    # Reverse adjacency over all transitions.
+    reverse = defaultdict(list)
+    for t in result.transitions:
+        reverse[t.target].append(t.source)
+    # Seed: sources of productive transitions (the movement happens when
+    # leaving the state, so the *source* state is alive).
+    alive = set()
+    stack = [t.source for t in result.transitions if t.productive]
+    alive.update(stack)
+    while stack:
+        node = stack.pop()
+        for pred in reverse[node]:
+            if pred not in alive:
+                alive.add(pred)
+                stack.append(pred)
+    return [i for i in range(result.n_states) if i not in alive]
+
+
+def assert_deadlock_free(result):
+    """Raise AssertionError with a state dump if any deadlock exists."""
+    dead = find_deadlocks(result)
+    if dead:
+        raise AssertionError(
+            f"{len(dead)} deadlocked state(s); first index {dead[0]}"
+        )
+    return True

@@ -1,0 +1,151 @@
+"""Explicit-state exploration of an elastic netlist.
+
+Plays the role NuSMV plays in the paper's Section 4.2: the design's
+controllers are composed with *nondeterministic* environments
+(:class:`~repro.elastic.environment.NondetSource` /
+:class:`~repro.elastic.environment.NondetSink`,
+:class:`~repro.core.scheduler.NondetScheduler`) and every reachable state
+is enumerated.  Along the way each transition is checked against the SELF
+protocol properties; the resulting state graph feeds deadlock and
+starvation (leads-to) analysis.
+
+A state is ``(netlist snapshot, previous channel signals)`` — the signal
+part makes the two-cycle Retry properties checkable per transition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import VerificationError
+from repro.sim.engine import Simulator
+from repro.verif.properties import check_invariant, check_retry, retry_exempt_channels
+
+
+@dataclass
+class Transition:
+    """One explored transition (for counterexample reporting)."""
+
+    source: int
+    target: int
+    choices: dict
+    events: dict          # channel -> ChannelEvents
+    productive: bool      # any token/anti-token movement anywhere
+
+
+@dataclass
+class ExplorationResult:
+    """The reachable state graph plus property verdicts."""
+
+    states: list = field(default_factory=list)        # index -> state
+    transitions: list = field(default_factory=list)   # Transition records
+    violations: list = field(default_factory=list)    # protocol problems
+    complete: bool = True                              # hit no state cap
+
+    @property
+    def n_states(self):
+        return len(self.states)
+
+    def successors(self, index):
+        return [t for t in self.transitions if t.source == index]
+
+    def ok(self):
+        return self.complete and not self.violations
+
+
+class StateExplorer:
+    """Breadth-first reachability over environment/scheduler choices."""
+
+    def __init__(self, netlist, max_states=20000, check_protocol=True):
+        self.netlist = netlist
+        self.max_states = max_states
+        self.check_protocol = check_protocol
+        # The simulator's own online monitor is disabled: exploration jumps
+        # between branches, so two-cycle properties are checked explicitly
+        # against the state-embedded previous signals.
+        self.sim = Simulator(netlist, check_protocol=False)
+        self.retry_exempt = retry_exempt_channels(netlist)
+
+    def _signals(self):
+        return {
+            name: (
+                bool(ch.state.vp), bool(ch.state.sp),
+                bool(ch.state.vm), bool(ch.state.sm),
+            )
+            for name, ch in self.netlist.channels.items()
+        }
+
+    def _choice_vectors(self):
+        nodes = [
+            node for node in self.netlist.nodes.values() if node.choice_space() > 1
+        ]
+        spaces = [range(node.choice_space()) for node in nodes]
+        names = [node.name for node in nodes]
+        for combo in itertools.product(*spaces):
+            yield dict(zip(names, combo))
+
+    def explore(self):
+        """Run BFS; returns an :class:`ExplorationResult`."""
+        self.netlist.reset()
+        initial = (self.netlist.snapshot(), None)
+        index = {initial: 0}
+        result = ExplorationResult(states=[initial])
+        frontier = [0]
+        while frontier:
+            current = frontier.pop()
+            snapshot, prev_signals = result.states[current]
+            # Enumerate choices valid in this state.
+            self.netlist.restore(snapshot)
+            vectors = list(self._choice_vectors())
+            for choices in vectors:
+                self.netlist.restore(snapshot)
+                events = self.sim.step_with_choices(choices)
+                signals = self._signals()
+                if self.check_protocol:
+                    problems = check_invariant(signals)
+                    if prev_signals is not None:
+                        problems += check_retry(
+                            prev_signals, signals, exempt=self.retry_exempt
+                        )
+                    for problem in problems:
+                        result.violations.append(
+                            f"state {current} choices {choices}: {problem}"
+                        )
+                successor_snapshot = self.netlist.snapshot()
+                key = (successor_snapshot, tuple(sorted(signals.items())))
+                if key not in index:
+                    if len(result.states) >= self.max_states:
+                        result.complete = False
+                        continue
+                    index[key] = len(result.states)
+                    result.states.append((successor_snapshot, signals))
+                    frontier.append(index[key])
+                productive = any(
+                    ev.forward or ev.cancel or ev.backward for ev in events.values()
+                )
+                result.transitions.append(
+                    Transition(
+                        source=current,
+                        target=index[key],
+                        choices=choices,
+                        events=events,
+                        productive=productive,
+                    )
+                )
+        return result
+
+
+def explore_or_raise(netlist, max_states=20000):
+    """Convenience wrapper: explore and raise on any protocol violation."""
+    result = StateExplorer(netlist, max_states=max_states).explore()
+    if result.violations:
+        raise VerificationError(
+            f"{len(result.violations)} protocol violation(s); first: "
+            f"{result.violations[0]}"
+        )
+    if not result.complete:
+        raise VerificationError(
+            f"state space exceeded cap ({max_states}); increase max_states"
+        )
+    return result

@@ -1,0 +1,86 @@
+"""Scheduler leads-to (starvation) analysis — equation (1) of the paper:
+
+    G (V+_{in_i}  =>  F (V-_{out_i} or (sel = i and token at out_i)))
+
+"every arrived token must be eventually served by the shared unit or
+killed".  *Served* is the scheduler's obligation: the prediction selects
+channel ``i`` while its token is offered at the shared output (``V+`` on
+``out_i``) — whether the downstream multiplexor then stalls it is outside
+the scheduler's contract.  *Killed* shows as a cancellation (or backward
+anti-token delivery) on the input or output channel.
+
+Over a finite explored state graph the property fails exactly when there is
+a reachable *lasso*: a cycle of states in which channel ``i`` keeps
+offering a token while no transition in the cycle serves or kills it.
+:func:`check_leads_to` finds such lassos.  Compliant schedulers (toggle,
+round-robin, repair, primary...) pass for any environment behaviour; a
+deliberately broken scheduler (``StaticScheduler(repair=False)``) fails,
+which the verification tests demonstrate.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+def _token_waiting(state_signals, channel):
+    if state_signals is None:
+        return False
+    vp, _sp, _vm, _sm = state_signals[channel]
+    return vp
+
+
+def _released(transition, result, in_channel, out_channel):
+    """Did this transition serve or kill the token waiting on in_channel?"""
+    ev_in = transition.events.get(in_channel)
+    if ev_in is not None and (ev_in.forward or ev_in.cancel or ev_in.backward):
+        return True
+    if out_channel is not None:
+        ev_out = transition.events.get(out_channel)
+        if ev_out is not None and (ev_out.forward or ev_out.cancel):
+            return True
+        # Served: the scheduler granted the channel — its token shows at the
+        # shared output this cycle (the target state's recorded signals are
+        # the fix-point values of the transition's cycle).
+        signals = result.states[transition.target][1]
+        if signals is not None and signals[out_channel][0]:
+            return True
+    return False
+
+
+def check_leads_to(result, in_channel, out_channel=None):
+    """Check leads-to for tokens waiting on ``in_channel``.
+
+    ``result`` is an :class:`~repro.verif.explore.ExplorationResult`;
+    ``out_channel`` is the shared module's corresponding output.  Returns
+    ``(ok, lasso)`` where ``lasso`` lists the state indices of a starving
+    cycle when ``ok`` is False.
+    """
+    graph = nx.DiGraph()
+    for t in result.transitions:
+        if _released(t, result, in_channel, out_channel):
+            continue
+        src_signals = result.states[t.source][1]
+        dst_signals = result.states[t.target][1]
+        # Starvation requires the token to be waiting across the whole edge.
+        if src_signals is not None and not _token_waiting(src_signals, in_channel):
+            continue
+        if not _token_waiting(dst_signals, in_channel):
+            continue
+        graph.add_edge(t.source, t.target)
+    for component in nx.strongly_connected_components(graph):
+        if len(component) > 1:
+            return False, sorted(component)
+        node = next(iter(component))
+        if graph.has_edge(node, node):
+            return False, [node]
+    return True, []
+
+
+def starvation_free(result, channel_pairs):
+    """Check leads-to on several (in, out) pairs; returns dict of verdicts."""
+    verdicts = {}
+    for in_channel, out_channel in channel_pairs:
+        ok, lasso = check_leads_to(result, in_channel, out_channel)
+        verdicts[in_channel] = (ok, lasso)
+    return verdicts

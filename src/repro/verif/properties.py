@@ -1,0 +1,82 @@
+"""Stateless per-transition protocol checks used by the explorer.
+
+These are the Section 3.1 properties in transition-relation form:
+
+* Invariant — kill and stop mutually exclusive, no stalled cancellation;
+* Retry+ / Retry- — persistence of stalled tokens / anti-tokens, phrased
+  over a (previous signals, current signals) pair.
+"""
+
+from __future__ import annotations
+
+
+def check_invariant(signals):
+    """``signals``: channel name -> (vp, sp, vm, sm).  Returns a list of
+    violation strings (empty = OK)."""
+    problems = []
+    for name, (vp, sp, vm, sm) in signals.items():
+        if vm and sp:
+            problems.append(f"{name}: V- and S+ both asserted")
+        if vp and vm and sm:
+            problems.append(f"{name}: cancellation with S- asserted")
+    return problems
+
+
+def check_retry(prev, cur, exempt=()):
+    """Persistence between consecutive cycles.
+
+    ``prev``/``cur``: channel name -> (vp, sp, vm, sm).  ``exempt`` lists
+    channels allowed to withdraw stalled tokens (shared-module outputs,
+    Section 4.2).
+    """
+    problems = []
+    for name, (pvp, psp, pvm, psm) in prev.items():
+        vp, sp, vm, sm = cur[name]
+        if name not in exempt and pvp and psp and not pvm and not vp:
+            problems.append(f"{name}: stalled token withdrawn (Retry+)")
+        if pvm and psm and not pvp and not vm:
+            problems.append(f"{name}: stalled anti-token withdrawn (Retry-)")
+    return problems
+
+
+#: node kinds whose outputs follow their inputs combinationally (a valid
+#: withdrawn upstream propagates through them within the same cycle).
+_COMBINATIONAL_KINDS = {"func", "fork", "eemux", "shared"}
+
+
+def retry_exempt_channels(netlist):
+    """Channels exempt from Retry+.
+
+    Section 4.2: "the output channels of the shared modules are not
+    required to be persistent.  However, persistence is maintained at the
+    inputs of the shared module and at the outputs of all EBs after the
+    shared module."  Non-persistence therefore propagates through any
+    *combinational* node (function block, fork, mux) fed by a shared
+    output, and stops at the next elastic buffer.
+    """
+    exempt = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, channel in netlist.channels.items():
+            if name in exempt:
+                continue
+            producer = netlist.nodes[channel.producer[0]]
+            if producer.kind == "shared":
+                exempt.add(name)
+                changed = True
+            elif producer.kind in _COMBINATIONAL_KINDS:
+                feeds = [
+                    producer.channel(port).name
+                    for port in producer.in_ports
+                    if port in producer._channels
+                ]
+                if any(feed in exempt for feed in feeds):
+                    exempt.add(name)
+                    changed = True
+    return exempt
+
+
+def shared_output_channels(netlist):
+    """Back-compat alias for :func:`retry_exempt_channels`."""
+    return retry_exempt_channels(netlist)

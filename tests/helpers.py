@@ -1,0 +1,45 @@
+"""Shared test utilities: tiny harness netlists around single nodes."""
+
+from __future__ import annotations
+
+from repro.elastic.buffers import ElasticBuffer
+from repro.elastic.environment import KillerSink, ListSource, Sink
+from repro.netlist.graph import Netlist
+from repro.sim.engine import Simulator
+from repro.sim.stats import TransferLog
+
+
+def single_node_net(node, in_values=None, stall_rate=0.0, seed=0, kill_rate=None):
+    """source -> node -> sink around a 1-in/1-out node."""
+    net = Netlist(f"harness_{node.name}")
+    net.add(node)
+    net.add(ListSource("src", list(in_values or [])))
+    if kill_rate is None:
+        net.add(Sink("snk", stall_rate=stall_rate, seed=seed))
+    else:
+        net.add(KillerSink("snk", kill_rate=kill_rate, stall_rate=stall_rate, seed=seed))
+    net.connect("src.o", (node.name, node.in_ports[0]), name="in")
+    net.connect((node.name, node.out_ports[0]), "snk.i", name="out")
+    net.validate()
+    return net
+
+
+def run(net, cycles, observers=(), check_protocol=True):
+    sim = Simulator(net, observers=list(observers), check_protocol=check_protocol)
+    sim.run(cycles)
+    return sim
+
+
+def sink_values(net, name="snk"):
+    return net.nodes[name].values
+
+
+def eb_between(name="eb", init=(), capacity=2, **kwargs):
+    return ElasticBuffer(name, init=init, capacity=capacity, **kwargs)
+
+
+def transfers_on(net, cycles, channels):
+    """Run and return the forward-transfer value streams of ``channels``."""
+    log = TransferLog(channels)
+    run(net, cycles, observers=[log])
+    return {name: log.values(name) for name in channels}

@@ -1,0 +1,113 @@
+"""Unit tests for SELF channel semantics and event resolution."""
+
+import pytest
+
+from repro.elastic.channel import Channel, ChannelState, CONSUMER, PRODUCER
+from repro.errors import SignalConflictError
+
+
+def resolved_channel(vp, sp, vm, sm, data=None):
+    ch = Channel("c")
+    ch.state.vp = vp
+    ch.state.sp = sp
+    ch.state.vm = vm
+    ch.state.sm = sm
+    ch.state.data = data
+    return ch
+
+
+class TestChannelState:
+    def test_set_from_unknown(self):
+        st = ChannelState()
+        assert st.set("vp", True) is True
+        assert st.vp is True
+
+    def test_set_same_value_is_noop(self):
+        st = ChannelState()
+        st.set("vp", True)
+        assert st.set("vp", True) is False
+
+    def test_set_none_is_noop(self):
+        st = ChannelState()
+        assert st.set("vp", None) is False
+        assert st.vp is None
+
+    def test_conflicting_rewrite_raises(self):
+        st = ChannelState()
+        st.set("vp", True)
+        with pytest.raises(SignalConflictError):
+            st.set("vp", False)
+
+    def test_resolved_requires_all_controls(self):
+        st = ChannelState()
+        st.set("vp", False)
+        st.set("sp", False)
+        st.set("vm", False)
+        assert not st.resolved()
+        st.set("sm", False)
+        assert st.resolved()
+
+    def test_unresolved_signals_named(self):
+        st = ChannelState()
+        st.set("vp", True)
+        assert set(st.unresolved_signals()) == {"sp", "vm", "sm"}
+
+
+class TestAttach:
+    def test_double_producer_rejected(self):
+        ch = Channel("c")
+        ch.attach(PRODUCER, "a", "o")
+        with pytest.raises(SignalConflictError):
+            ch.attach(PRODUCER, "b", "o")
+
+    def test_double_consumer_rejected(self):
+        ch = Channel("c")
+        ch.attach(CONSUMER, "a", "i")
+        with pytest.raises(SignalConflictError):
+            ch.attach(CONSUMER, "b", "i")
+
+    def test_bad_role(self):
+        with pytest.raises(ValueError):
+            Channel("c").attach("sideways", "a", "p")
+
+
+class TestEvents:
+    def test_forward_transfer(self):
+        ev = resolved_channel(True, False, False, False, data=7).events()
+        assert ev.forward and not ev.cancel and not ev.backward
+        assert ev.data == 7
+        assert ev.token_left_producer
+        assert not ev.anti_delivered
+
+    def test_stalled_token_no_event(self):
+        ev = resolved_channel(True, True, False, False).events()
+        assert not (ev.forward or ev.cancel or ev.backward)
+        assert not ev.token_left_producer
+
+    def test_idle(self):
+        ev = resolved_channel(False, False, False, False).events()
+        assert not (ev.forward or ev.cancel or ev.backward)
+
+    def test_cancellation(self):
+        """Token and anti-token in the same channel annihilate; both sides
+        see their item leave."""
+        ev = resolved_channel(True, False, True, False, data=3).events()
+        assert ev.cancel
+        assert not ev.forward          # the consumer does NOT receive data
+        assert ev.data is None
+        assert ev.token_left_producer
+        assert ev.anti_delivered
+
+    def test_backward_transfer(self):
+        ev = resolved_channel(False, False, True, False).events()
+        assert ev.backward and ev.anti_delivered and not ev.cancel
+
+    def test_stalled_anti_token(self):
+        ev = resolved_channel(False, False, True, True).events()
+        assert not ev.anti_delivered
+
+    def test_unresolved_raises_at_event_time(self):
+        ch = Channel("c")
+        ch.state.vp = True
+        with pytest.raises(ValueError):
+            ch.events()

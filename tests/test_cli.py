@@ -1,0 +1,49 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "A - C - E F F" in " ".join(out.split())
+        assert "mispredictions=2" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1", "--cycles", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1a" in out and "fig1d" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6", "--cycles", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "effective improvement" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7", "--cycles", "300", "--error-rate", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7b" in out
+
+    def test_export(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path), "--design", "fig1d"]) == 0
+        assert (tmp_path / "fig1d.v").exists()
+        assert (tmp_path / "fig1d.smv").exists()
+        assert (tmp_path / "fig1d.dot").exists()
+
+    def test_export_fig6b(self, tmp_path):
+        assert main(["export", str(tmp_path), "--design", "fig6b"]) == 0
+        assert (tmp_path / "fig6b.v").exists()
+
+    @pytest.mark.slow
+    def test_verify(self, capsys):
+        assert main(["verify", "--max-states", "60000"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "starves as predicted" in out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,231 @@
+"""Datapath tests: adders, approximate adder + detector, ALU, SECDED —
+functional correctness and bit-exact agreement with the gate level."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datapath.adders import (
+    add_functional,
+    adder_inputs,
+    adder_sum,
+    kogge_stone_adder,
+    ripple_carry_adder,
+)
+from repro.datapath.alu import ALU_OPS, Alu
+from repro.datapath.approx import (
+    approx_add_functional,
+    approx_adder_gates,
+    approx_error_detector_gates,
+    approx_error_functional,
+    approx_exact_mismatch,
+    error_rate_estimate,
+)
+from repro.datapath.secded import CORRECTED, DOUBLE, OK, PARITY_FIXED, Secded
+from repro.tech.library import DEFAULT_TECH
+
+
+class TestFunctionalAdd:
+    @given(a=st.integers(0, 255), b=st.integers(0, 255), cin=st.integers(0, 1))
+    def test_matches_python(self, a, b, cin):
+        value, carry = add_functional(a, b, 8, cin)
+        assert value == (a + b + cin) & 0xFF
+        assert carry == ((a + b + cin) >> 8) & 1
+
+
+class TestGateAdders:
+    @pytest.mark.parametrize("builder", [ripple_carry_adder, kogge_stone_adder])
+    def test_exhaustive_4bit(self, builder):
+        net = builder(4)
+        for a in range(16):
+            for b in range(16):
+                outputs = net.evaluate(adder_inputs(a, b, 4))
+                value, carry = adder_sum(outputs, 4)
+                assert value == (a + b) & 0xF
+                assert carry == (a + b) >> 4
+
+    @pytest.mark.parametrize("builder", [ripple_carry_adder, kogge_stone_adder])
+    def test_random_16bit_with_cin(self, builder):
+        net = builder(16, with_cin=True)
+        rng = random.Random(0)
+        for _ in range(50):
+            a, b, cin = rng.getrandbits(16), rng.getrandbits(16), rng.getrandbits(1)
+            outputs = net.evaluate(adder_inputs(a, b, 16, cin))
+            value, carry = adder_sum(outputs, 16)
+            assert value == (a + b + cin) & 0xFFFF
+            assert carry == (a + b + cin) >> 16
+
+    def test_prefix_adder_is_faster_than_ripple(self):
+        """The Kogge-Stone log-depth structure must beat ripple at 64 bits
+        (and cost more area) — the paper's prefix-adder choice."""
+        rca = ripple_carry_adder(64)
+        ks = kogge_stone_adder(64)
+        assert ks.delay(DEFAULT_TECH) < rca.delay(DEFAULT_TECH) / 2
+        assert ks.area(DEFAULT_TECH) > rca.area(DEFAULT_TECH)
+
+
+class TestApproxAdder:
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_detector_never_misses(self, a, b):
+        """The conservative detector must flag every real mismatch — the
+        property that makes speculative replay *correct*."""
+        if approx_exact_mismatch(a, b, 8, 3):
+            assert approx_error_functional(a, b, 8, 3) == 1
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_no_flag_means_exact(self, a, b):
+        if not approx_error_functional(a, b, 8, 3):
+            assert approx_add_functional(a, b, 8, 3) == (a + b) & 0xFF
+
+    def test_gate_level_matches_functional(self):
+        net = approx_adder_gates(8, 3)
+        det = approx_error_detector_gates(8, 3)
+        rng = random.Random(1)
+        for _ in range(100):
+            a, b = rng.getrandbits(8), rng.getrandbits(8)
+            outputs = net.evaluate(adder_inputs(a, b, 8))
+            value = sum(1 << i for i in range(8) if outputs[f"s{i}"])
+            assert value == approx_add_functional(a, b, 8, 3)
+            err = det.evaluate(adder_inputs(a, b, 8))["err"]
+            assert int(err) == approx_error_functional(a, b, 8, 3)
+
+    def test_approx_is_faster_than_exact(self):
+        exact = ripple_carry_adder(8)
+        approx = approx_adder_gates(8, 3)
+        detector = approx_error_detector_gates(8, 3)
+        assert approx.delay(DEFAULT_TECH) < exact.delay(DEFAULT_TECH)
+        assert detector.delay(DEFAULT_TECH) < exact.delay(DEFAULT_TECH)
+
+    def test_error_rate_is_low_for_random_operands(self):
+        rng = random.Random(2)
+        flags = sum(
+            approx_error_functional(rng.getrandbits(8), rng.getrandbits(8), 8, 3)
+            for _ in range(2000)
+        )
+        measured = flags / 2000
+        assert measured < 0.65        # mostly single-cycle
+        # union-bound estimate is the right order of magnitude
+        assert error_rate_estimate(8, 3) >= measured / 3
+
+
+class TestAlu:
+    @pytest.fixture()
+    def alu(self):
+        return Alu(width=8, window=3)
+
+    @given(op=st.sampled_from(sorted(ALU_OPS.values())),
+           a=st.integers(0, 255), b=st.integers(0, 255))
+    @settings(max_examples=200)
+    def test_exact_semantics(self, op, a, b):
+        alu = Alu(width=8, window=3)
+        value = alu.exact(op, a, b).value
+        if op == ALU_OPS["add"]:
+            assert value == (a + b) & 0xFF
+        elif op == ALU_OPS["sub"]:
+            assert value == (a - b) & 0xFF
+        elif op == ALU_OPS["and"]:
+            assert value == a & b
+        elif op == ALU_OPS["or"]:
+            assert value == a | b
+        else:
+            assert value == a ^ b
+
+    @given(op=st.sampled_from(sorted(ALU_OPS.values())),
+           a=st.integers(0, 255), b=st.integers(0, 255))
+    @settings(max_examples=200)
+    def test_approx_err_flag_sound(self, op, a, b):
+        """Whenever approx differs from exact, err must be raised."""
+        alu = Alu(width=8, window=3)
+        result = alu.approx(op, a, b)
+        if result.value != alu.exact(op, a, b).value:
+            assert result.err == 1
+
+    def test_logic_ops_never_flag(self, alu):
+        for op_name in ("and", "or", "xor"):
+            assert alu.approx(ALU_OPS[op_name], 0xFF, 0xFF).err == 0
+
+    def test_stats_shapes(self, alu):
+        stats = alu.stats(DEFAULT_TECH)
+        assert stats["approx"]["delay"] < stats["exact"]["delay"]
+        assert stats["err"]["delay"] < stats["exact"]["delay"]
+        assert all(s["area"] > 0 for s in stats.values())
+
+
+class TestSecded:
+    @pytest.fixture(scope="class")
+    def code(self):
+        return Secded(64)
+
+    def test_code_geometry(self, code):
+        assert code.check_bits == 7
+        assert code.code_bits == 72     # 64 data + 7 check + overall parity
+
+    @given(data=st.integers(0, 2**64 - 1))
+    @settings(max_examples=100)
+    def test_roundtrip_clean(self, data):
+        code = Secded(64)
+        result = code.decode(code.encode(data))
+        assert result.status == OK
+        assert result.data == data
+
+    @given(data=st.integers(0, 2**64 - 1), bit=st.integers(0, 71))
+    @settings(max_examples=200)
+    def test_all_single_errors_corrected(self, data, bit):
+        code = Secded(64)
+        corrupted = code.inject(code.encode(data), bit)
+        result = code.decode(corrupted)
+        assert result.status in (CORRECTED, PARITY_FIXED)
+        assert result.data == data
+
+    @given(data=st.integers(0, 2**64 - 1),
+           bits=st.lists(st.integers(0, 71), min_size=2, max_size=2, unique=True))
+    @settings(max_examples=200)
+    def test_all_double_errors_detected(self, data, bits):
+        code = Secded(64)
+        corrupted = code.inject(code.encode(data), *bits)
+        result = code.decode(corrupted)
+        assert result.status == DOUBLE
+
+    def test_exhaustive_single_errors_one_word(self, code):
+        data = 0xDEADBEEFCAFEF00D
+        encoded = code.encode(data)
+        for bit in range(code.code_bits):
+            result = code.decode(code.inject(encoded, bit))
+            assert result.data == data
+
+    def test_gate_encoder_matches_functional(self, code):
+        net = code.encoder_gates()
+        rng = random.Random(3)
+        for _ in range(10):
+            data = rng.getrandbits(64)
+            inputs = {f"d{i}": bool((data >> i) & 1) for i in range(64)}
+            outputs = net.evaluate(inputs)
+            encoded = sum(1 << i for i in range(72) if outputs[f"c{i}"])
+            assert encoded == code.encode(data)
+
+    def test_gate_decoder_corrects_single_error(self, code):
+        net = code.decoder_gates()
+        rng = random.Random(4)
+        for _ in range(5):
+            data = rng.getrandbits(64)
+            corrupted = code.inject(code.encode(data), rng.randrange(71))
+            inputs = {f"c{i}": bool((corrupted >> i) & 1) for i in range(72)}
+            outputs = net.evaluate(inputs)
+            decoded = sum(1 << i for i in range(64) if outputs[f"d{i}"])
+            assert decoded == data
+            assert outputs["single"] is True
+            assert outputs["double"] is False
+
+    def test_gate_decoder_flags_double_error(self, code):
+        net = code.decoder_gates()
+        data = 12345678901234567890 & (2**64 - 1)
+        corrupted = code.inject(code.encode(data), 3, 40)
+        inputs = {f"c{i}": bool((corrupted >> i) & 1) for i in range(72)}
+        outputs = net.evaluate(inputs)
+        assert outputs["double"] is True
+
+    def test_inject_validates_position(self, code):
+        with pytest.raises(ValueError):
+            code.inject(0, 99)

@@ -1,0 +1,146 @@
+"""Unit tests for sources, sinks and anti-token injectors."""
+
+import pytest
+
+from repro.elastic.buffers import ElasticBuffer
+from repro.elastic.environment import (
+    FunctionSource,
+    KillerSink,
+    ListSource,
+    NondetSink,
+    NondetSource,
+    Sink,
+)
+from repro.netlist.graph import Netlist
+from repro.sim.engine import Simulator
+
+from helpers import run, sink_values
+
+
+def direct(src, snk):
+    net = Netlist("t")
+    net.add(src)
+    net.add(snk)
+    net.connect((src.name, "o"), (snk.name, "i"), name="ch")
+    net.validate()
+    return net
+
+
+class TestListSource:
+    def test_emits_in_order(self):
+        net = direct(ListSource("src", [3, 1, 4]), Sink("snk"))
+        run(net, 6)
+        assert sink_values(net) == [3, 1, 4]
+
+    def test_exhausted_flag(self):
+        src = ListSource("src", [1])
+        net = direct(src, Sink("snk"))
+        run(net, 4)
+        assert src.exhausted
+        assert src.emitted == 1
+
+    def test_rate_throttles_reproducibly(self):
+        def stream_cycles(seed):
+            src = ListSource("src", list(range(10)), rate=0.4, seed=seed)
+            net = direct(src, Sink("snk"))
+            run(net, 60)
+            return [c for c, _v in net.nodes["snk"].received]
+
+        assert stream_cycles(5) == stream_cycles(5)
+        assert stream_cycles(5) != stream_cycles(6)
+
+    def test_persistence_under_stall(self):
+        src = ListSource("src", [7])
+        net = direct(src, Sink("snk", stall_rate=1.0))
+        sim = Simulator(net)
+        for _ in range(5):
+            sim.step()
+            st = net.channels["ch"].state
+            assert st.vp is True and st.data == 7      # Retry+
+
+    def test_kill_skips_value(self):
+        src = ListSource("src", [1, 2])
+        net = direct(src, KillerSink("snk", kill_rate=1.0))
+        run(net, 8)
+        assert net.nodes["snk"].values == []
+        assert src.killed >= 2
+
+
+class TestFunctionSource:
+    def test_infinite_stream(self):
+        src = FunctionSource("src", lambda i: i * i)
+        net = direct(src, Sink("snk"))
+        run(net, 5)
+        assert sink_values(net) == [0, 1, 4, 9, 16]
+
+    def test_limit(self):
+        src = FunctionSource("src", lambda i: i, limit=3)
+        net = direct(src, Sink("snk"))
+        run(net, 8)
+        assert sink_values(net) == [0, 1, 2]
+
+
+class TestSink:
+    def test_records_cycle_stamps(self):
+        net = direct(ListSource("src", [9, 8]), Sink("snk"))
+        run(net, 4)
+        assert net.nodes["snk"].received == [(0, 9), (1, 8)]
+
+    def test_stall_rate_one_accepts_nothing(self):
+        net = direct(ListSource("src", [1]), Sink("snk", stall_rate=1.0))
+        run(net, 6)
+        assert sink_values(net) == []
+
+
+class TestKillerSink:
+    def test_kill_stream_drains_backward(self):
+        """Anti-tokens flow backward through the buffer into the source
+        (which absorbs them as skipped future tokens); the kill offer is
+        visible on the channel every cycle and keeps being delivered."""
+        net = Netlist("t")
+        net.add(ListSource("src", []))            # nothing ever comes
+        snk = net.add(KillerSink("snk", kill_rate=1.0))
+        net.add(ElasticBuffer("eb", anti_capacity=1))
+        net.connect("src.o", "eb.i", name="a")
+        net.connect("eb.o", "snk.i", name="b")
+        sim = Simulator(net)
+        sim.step()
+        assert net.channels["b"].state.vm is True
+        sim.run(6)
+        assert snk.kills_sent >= 3                # deliveries keep flowing
+
+    def test_mixed_mode_receives_and_kills(self):
+        net = direct(ListSource("src", list(range(30))),
+                     KillerSink("snk", kill_rate=0.3, seed=4))
+        run(net, 60)
+        snk = net.nodes["snk"]
+        assert snk.values                    # some received
+        assert snk.kills_sent                # some killed
+        assert len(snk.values) + snk.kills_sent >= 30
+
+
+class TestNondetEnvironments:
+    def test_source_choice_space_respects_persistence(self):
+        src = NondetSource("src")
+        net = direct(src, Sink("snk", stall_rate=1.0))
+        sim = Simulator(net)
+        assert src.choice_space() == 2
+        src.set_choice(1)
+        sim.step()
+        # token offered and stalled: no choice until it drains
+        assert src.choice_space() == 1
+
+    def test_sink_choices(self):
+        snk = NondetSink("snk", can_kill=True)
+        assert snk.choice_space() == 3
+        plain = NondetSink("p")
+        assert plain.choice_space() == 2
+
+    def test_source_counter_values_stream(self):
+        src = NondetSource("src")
+        net = direct(src, Sink("snk"))
+        sim = Simulator(net)
+        for _ in range(4):
+            src.set_choice(1)
+            sim.step()
+        assert sink_values(net) == [0, 1, 2, 3]

@@ -1,0 +1,173 @@
+"""Transfer-equivalence tests: every correct-by-construction transformation
+must preserve the output transfer streams (Section 3.1 / Section 4's
+"functional equivalence is preserved ... regardless the prediction
+strategy").  Property-based over random select streams, stall patterns and
+scheduler choices."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import (
+    LastGrantScheduler,
+    PrimaryScheduler,
+    RandomScheduler,
+    RepairScheduler,
+    RoundRobinScheduler,
+    StaticScheduler,
+    ToggleScheduler,
+    TwoBitScheduler,
+)
+from repro.core.speculation import speculate
+from repro.netlist import patterns
+from repro.sim.engine import Simulator
+from repro.sim.stats import TransferLog
+from repro.transform.bubbles import insert_bubble, insert_zbl_buffer
+from repro.verif.equivalence import assert_transfer_equivalent, transfer_streams
+
+
+def loop_stream(net, channel, cycles=200):
+    log = TransferLog([channel])
+    Simulator(net, observers=[log]).run(cycles)
+    return log.values(channel)
+
+
+def make_sel_fn(bits):
+    return lambda generation: bits[generation % len(bits)]
+
+
+SEL_BITS = st.lists(st.integers(0, 1), min_size=1, max_size=12)
+
+
+class TestFig1VariantsEquivalent:
+    """All four Figure 1 variants must produce the same loop stream."""
+
+    @given(bits=SEL_BITS)
+    @settings(max_examples=20, deadline=None)
+    def test_bubble_insertion_preserves_stream(self, bits):
+        sel = make_sel_fn(bits)
+        net_a, names_a = patterns.fig1a(sel)
+        net_b, names_b = patterns.fig1b(sel)
+        sa = loop_stream(net_a, names_a["ebin"], 160)
+        sb = loop_stream(net_b, names_b["ebin"], 160)
+        n = min(len(sa), len(sb))
+        assert n >= 20
+        assert sa[:n] == sb[:n]
+
+    @given(bits=SEL_BITS)
+    @settings(max_examples=20, deadline=None)
+    def test_shannon_preserves_stream(self, bits):
+        sel = make_sel_fn(bits)
+        net_a, names_a = patterns.fig1a(sel)
+        net_c, names_c = patterns.fig1c(sel)
+        sa = loop_stream(net_a, names_a["ebin"], 160)
+        sc = loop_stream(net_c, names_c["ebin"], 160)
+        n = min(len(sa), len(sc))
+        assert n >= 20
+        assert sa[:n] == sc[:n]
+
+    @given(bits=SEL_BITS)
+    @settings(max_examples=20, deadline=None)
+    def test_speculation_preserves_stream(self, bits):
+        sel = make_sel_fn(bits)
+        net_a, names_a = patterns.fig1a(sel)
+        net_d, names_d = patterns.fig1d(sel)
+        sa = loop_stream(net_a, names_a["ebin"], 200)
+        sd = loop_stream(net_d, names_d["ebin"], 200)
+        n = min(len(sa), len(sd))
+        assert n >= 20
+        assert sa[:n] == sd[:n]
+
+
+SCHEDULERS = [
+    lambda: ToggleScheduler(2),
+    lambda: RoundRobinScheduler(2),
+    lambda: RepairScheduler(2),
+    lambda: StaticScheduler(2, favourite=0),
+    lambda: StaticScheduler(2, favourite=1),
+    lambda: PrimaryScheduler(2, primary=0),
+    lambda: LastGrantScheduler(2),
+    lambda: TwoBitScheduler(),
+    lambda: RandomScheduler(2, seed=13),
+]
+
+
+class TestPredictionStrategyIrrelevantForFunction:
+    """The paper's central guarantee: the speculative design is equivalent
+    to the original *regardless of the prediction strategy*."""
+
+    @pytest.mark.parametrize("make_sched", SCHEDULERS)
+    def test_any_scheduler_same_stream(self, make_sched):
+        sel = make_sel_fn([0, 1, 1, 0, 1, 0, 0, 1])
+        net_a, names_a = patterns.fig1a(sel)
+        net_d, names_d = patterns.fig1d(sel, scheduler=make_sched())
+        sa = loop_stream(net_a, names_a["ebin"], 240)
+        sd = loop_stream(net_d, names_d["ebin"], 240)
+        n = min(len(sa), len(sd))
+        assert n >= 30
+        assert sa[:n] == sd[:n]
+
+    @pytest.mark.parametrize("buffers", ["standard", "zbl"])
+    def test_buffered_speculation_same_stream(self, buffers):
+        """Section 4.1's general case: EBs between shared module and mux."""
+        sel = make_sel_fn([1, 0, 0, 1, 1])
+        net_a, names_a = patterns.fig1a(sel)
+        net_d, names_d = patterns.fig1d(sel, buffers=buffers)
+        sa = loop_stream(net_a, names_a["ebin"], 300)
+        sd = loop_stream(net_d, names_d["ebin"], 300)
+        n = min(len(sa), len(sd))
+        assert n >= 20
+        assert sa[:n] == sd[:n]
+
+
+class TestPipelineTransformsEquivalent:
+    @given(stalls=st.floats(0.0, 0.8), seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_bubble_in_open_pipeline(self, stalls, seed):
+        values = list(range(40))
+        base = patterns.pipeline_with_func(values, lambda x: x + 7,
+                                           stall_rate=stalls, seed=seed)
+        bubbled = patterns.pipeline_with_func(values, lambda x: x + 7,
+                                              stall_rate=stalls, seed=seed)
+        insert_bubble(bubbled, "mid0")
+        assert_transfer_equivalent(base, bubbled, [("out", "out")],
+                                   cycles=300, min_transfers=30)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_zbl_in_open_pipeline(self, seed):
+        values = list(range(30))
+        base = patterns.pipeline_with_func(values, lambda x: x * 2,
+                                           stall_rate=0.3, seed=seed)
+        zbl = patterns.pipeline_with_func(values, lambda x: x * 2,
+                                          stall_rate=0.3, seed=seed)
+        insert_zbl_buffer(zbl, "mid1")
+        assert_transfer_equivalent(base, zbl, [("out", "out")],
+                                   cycles=250, min_transfers=25)
+
+
+class TestSpeculatePipelineOnFig1:
+    def test_speculate_applies_full_recipe(self):
+        sel = make_sel_fn([0, 1])
+        net, _names = patterns.fig1a(sel)
+        report = speculate(net, "mux", "F", ToggleScheduler(2))
+        kinds = [net.nodes[n].kind for n in net.nodes]
+        assert "shared" in kinds
+        assert "eemux" in kinds
+        assert "F" not in net.nodes
+        assert report.shared in net.nodes
+        steps = [r.kind for r in report.records]
+        assert steps[:3] == ["shannon_decompose", "convert_to_early_eval",
+                             "share_blocks"]
+
+    def test_candidates_found_on_fig1a(self):
+        from repro.core.speculation import find_speculation_candidates
+
+        net, _names = patterns.fig1a(lambda g: 0)
+        assert ("mux", "F") in find_speculation_candidates(net)
+
+    def test_no_candidates_on_plain_pipeline(self):
+        from repro.core.speculation import find_speculation_candidates
+
+        net = patterns.pipeline_with_func([1, 2], lambda x: x)
+        assert find_speculation_candidates(net) == []

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script must run to completion and print its
+headline results."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, *args, timeout=600):
+    path = os.path.join(EXAMPLES_DIR, name)
+    result = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Table 1" in out
+        assert "A - C - E F F" in " ".join(out.split())
+        assert "(d) speculation" in out
+
+    def test_branch_speculation(self):
+        out = run_example("branch_speculation.py")
+        assert "throughput" in out
+        assert "oracle" in out
+
+    def test_variable_latency_alu(self):
+        out = run_example("variable_latency_alu.py")
+        assert "effective cycle time improvement" in out
+        assert "area overhead" in out
+
+    def test_resilient_adder(self):
+        out = run_example("resilient_adder.py")
+        assert "SECDED" in out
+        assert "recovery EB" in out
+
+    def test_design_space_exploration(self, tmp_path):
+        out = run_example("design_space_exploration.py", str(tmp_path))
+        assert "after speculation recipe" in out
+        assert "deadlocks: 0" in out
+        assert (tmp_path / "speculative_loop.v").exists()
+        assert (tmp_path / "speculative_loop.smv").exists()
+        assert (tmp_path / "speculative_loop.dot").exists()
+
+    @pytest.mark.slow
+    def test_verification_walkthrough(self):
+        out = run_example("verification_walkthrough.py", timeout=1200)
+        assert "starvation-free" in out
+        assert "STARVES" in out

@@ -1,0 +1,141 @@
+"""Unit tests for the structural gate IR and the technology library."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.tech.gates import GateNetlist, bits_to_int, ints_to_bits
+from repro.tech.library import DEFAULT_TECH, TechLibrary
+
+
+class TestConstruction:
+    def test_duplicate_driver_rejected(self):
+        net = GateNetlist("t")
+        a = net.add_input("a")
+        net.inv(a, out="y")
+        with pytest.raises(NetlistError):
+            net.inv(a, out="y")
+
+    def test_duplicate_input_rejected(self):
+        net = GateNetlist("t")
+        net.add_input("a")
+        with pytest.raises(NetlistError):
+            net.add_input("a")
+
+    def test_unknown_gate_kind_rejected(self):
+        net = GateNetlist("t")
+        net.add_input("a")
+        with pytest.raises(NetlistError):
+            net.add_gate("quantum_not", ("a",))
+
+    def test_combinational_cycle_detected(self):
+        net = GateNetlist("t")
+        net.add_input("a")
+        net.add_gate("and2", ("a", "y2"), "y1")
+        net.add_gate("buf", ("y1",), "y2")
+        with pytest.raises(NetlistError, match="cycle"):
+            net.topo_gates()
+
+
+class TestEvaluation:
+    def test_basic_gates(self):
+        net = GateNetlist("t")
+        a = net.add_input("a")
+        b = net.add_input("b")
+        net.and2(a, b, out="y_and")
+        net.or2(a, b, out="y_or")
+        net.xor2(a, b, out="y_xor")
+        net.nand2(a, b, out="y_nand")
+        net.nor2(a, b, out="y_nor")
+        for out in ("y_and", "y_or", "y_xor", "y_nand", "y_nor"):
+            net.mark_output(out)
+        result = net.evaluate({"a": True, "b": False})
+        assert result == {"y_and": False, "y_or": True, "y_xor": True,
+                          "y_nand": True, "y_nor": False}
+
+    def test_missing_input_rejected(self):
+        net = GateNetlist("t")
+        net.add_input("a")
+        net.inv("a", out="y")
+        net.mark_output("y")
+        with pytest.raises(NetlistError):
+            net.evaluate({})
+
+    @given(values=st.lists(st.booleans(), min_size=1, max_size=9))
+    def test_xor_tree_is_parity(self, values):
+        net = GateNetlist("t")
+        ins = net.add_inputs("x", len(values))
+        net.xor_tree(ins, out="p")
+        net.mark_output("p")
+        result = net.evaluate({f"x{i}": v for i, v in enumerate(values)})
+        assert result["p"] == (sum(values) % 2 == 1)
+
+    @given(values=st.lists(st.booleans(), min_size=1, max_size=9))
+    def test_or_and_trees(self, values):
+        net = GateNetlist("t")
+        ins = net.add_inputs("x", len(values))
+        net.or_tree(ins, out="o")
+        net.and_tree(ins, out="a")
+        net.mark_output("o")
+        net.mark_output("a")
+        result = net.evaluate({f"x{i}": v for i, v in enumerate(values)})
+        assert result["o"] == any(values)
+        assert result["a"] == all(values)
+
+    def test_empty_trees_are_constants(self):
+        net = GateNetlist("t")
+        net.or_tree([], out="zero")
+        net.and_tree([], out="one")
+        net.mark_output("zero")
+        net.mark_output("one")
+        result = net.evaluate({})
+        assert result == {"zero": False, "one": True}
+
+
+class TestAnalysis:
+    def test_delay_longest_path(self):
+        net = GateNetlist("t")
+        a = net.add_input("a")
+        x = net.inv(a)
+        y = net.inv(x)
+        net.add_gate("buf", (y,), "out")
+        net.mark_output("out")
+        expected = 2 * DEFAULT_TECH.delay_of("inv") + DEFAULT_TECH.delay_of("buf")
+        assert net.delay(DEFAULT_TECH) == pytest.approx(expected)
+
+    def test_constants_are_free(self):
+        net = GateNetlist("t")
+        net.const(True, out="one")
+        net.mark_output("one")
+        assert net.area(DEFAULT_TECH) == 0.0
+        assert net.delay(DEFAULT_TECH) == 0.0
+
+    def test_stats_keys(self):
+        net = GateNetlist("t")
+        a = net.add_input("a")
+        net.inv(a, out="y")
+        net.mark_output("y")
+        stats = net.stats(DEFAULT_TECH)
+        assert set(stats) == {"gates", "area", "delay", "inputs", "outputs"}
+
+
+class TestBitHelpers:
+    @given(value=st.integers(0, 2**16 - 1))
+    def test_roundtrip(self, value):
+        assert bits_to_int(ints_to_bits(value, 16)) == value
+
+
+class TestTechLibrary:
+    def test_eb_area_scales_with_width(self):
+        t = DEFAULT_TECH
+        assert t.eb_area(64) > t.eb_area(8) > 0
+
+    def test_mux_delay_grows_with_fanin(self):
+        t = DEFAULT_TECH
+        assert t.mux_delay(4) > t.mux_delay(2)
+
+    def test_custom_cells(self):
+        t = TechLibrary(name="test")
+        assert t.cell("nand2").inputs == 2
+        assert t.area_of("dff") > t.area_of("latch")

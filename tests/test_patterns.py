@@ -1,0 +1,120 @@
+"""Tests for the canned pattern netlists and the variable-latency unit."""
+
+import pytest
+
+from repro.elastic.environment import KillerSink, ListSource, Sink
+from repro.elastic.varlat import VariableLatencyUnit
+from repro.netlist import patterns
+from repro.netlist.graph import Netlist
+from repro.sim.engine import Simulator
+from repro.sim.stats import TransferLog
+
+from helpers import run, sink_values
+
+
+class TestFig1Patterns:
+    def test_all_variants_validate(self):
+        sel = lambda g: 0   # noqa: E731
+        for make in (patterns.fig1a, patterns.fig1b, patterns.fig1c,
+                     patterns.fig1d):
+            net, names = make(sel)
+            assert net.validate()
+            assert "ebin" in names
+
+    def test_fig1d_buffer_modes(self):
+        sel = lambda g: 0   # noqa: E731
+        for mode, kind in [("standard", "eb"), ("zbl", "zbl_eb")]:
+            net, names = patterns.fig1d(sel, buffers=mode)
+            assert len(names["buffers"]) == 2
+            for name in names["buffers"]:
+                assert net.nodes[name].kind == kind
+
+    def test_fig1a_loop_streams_generations(self):
+        net, names = patterns.fig1a(lambda g: g % 2)
+        log = TransferLog([names["ebin"]])
+        Simulator(net, observers=[log]).run(12)
+        generations = [gen for _b, gen in log.values(names["ebin"])]
+        assert generations == list(range(1, len(generations) + 1))
+
+    def test_table1_sel_fn(self):
+        assert [patterns.table1_sel_fn(g) for g in range(1, 6)] == [0, 1, 1, 0, 0]
+        assert patterns.table1_sel_fn(99) == 0
+
+
+class TestRingAndChainPatterns:
+    def test_ring_token_placement(self):
+        net = patterns.token_ring(4, 3)
+        total = sum(net.nodes[f"eb{i}"].count for i in range(4))
+        assert total == 3
+
+    def test_ring_rejects_overfull(self):
+        with pytest.raises(ValueError):
+            patterns.token_ring(2, 5)
+
+    def test_chain_delivers_everything(self):
+        net = patterns.eb_chain(5, source_values=list(range(9)))
+        run(net, 30)
+        assert sink_values(net) == list(range(9))
+
+    def test_pipeline_applies_function_chain(self):
+        net = patterns.pipeline_with_func([1, 2, 3], lambda x: x + 1,
+                                          n_stages=3)
+        run(net, 20)
+        assert sink_values(net) == [4, 5, 6]
+
+
+class TestVariableLatencyUnit:
+    def unit_net(self, values, err_on, kill_rate=None):
+        unit = VariableLatencyUnit("vl", fn=lambda x: x * 10,
+                                   err_fn=lambda x: x in err_on)
+        net = Netlist("t")
+        net.add(unit)
+        net.add(ListSource("src", list(values)))
+        if kill_rate is None:
+            net.add(Sink("snk"))
+        else:
+            net.add(KillerSink("snk", kill_rate=kill_rate))
+        net.connect("src.o", "vl.i", name="in")
+        net.connect("vl.o", "snk.i", name="out")
+        net.validate()
+        return net, unit
+
+    def test_fast_ops_single_cycle_throughput(self):
+        net, unit = self.unit_net(range(8), err_on=())
+        run(net, 12)
+        cycles = [c for c, _v in net.nodes["snk"].received]
+        assert cycles == list(range(1, 9))       # one result per cycle
+        assert unit.slow_ops == 0
+
+    def test_slow_op_costs_one_extra_cycle(self):
+        net, unit = self.unit_net([1, 2, 3], err_on=(2,))
+        run(net, 10)
+        cycles = [c for c, _v in net.nodes["snk"].received]
+        assert net.nodes["snk"].values == [10, 20, 30]
+        # op 2 stalls one extra cycle; op 3 slips behind it
+        assert cycles == [1, 3, 4]
+        assert unit.slow_ops == 1
+
+    def test_all_slow_halves_throughput(self):
+        net, _unit = self.unit_net(range(6), err_on=set(range(6)))
+        run(net, 16)
+        cycles = [c for c, _v in net.nodes["snk"].received]
+        gaps = [b - a for a, b in zip(cycles, cycles[1:])]
+        assert all(g == 2 for g in gaps)
+
+    def test_results_always_exact(self):
+        net, _unit = self.unit_net(range(10), err_on={3, 4, 7})
+        run(net, 30)
+        assert sink_values(net) == [x * 10 for x in range(10)]
+
+    def test_ready_head_can_be_killed(self):
+        net, _unit = self.unit_net([5], err_on=(), kill_rate=1.0)
+        run(net, 8)
+        assert net.nodes["snk"].values == []
+        assert net.nodes["snk"].kills_sent >= 1
+
+    def test_counters_track_ops(self):
+        net, unit = self.unit_net(range(5), err_on={1, 2})
+        run(net, 20)
+        assert unit.total_ops == 5
+        assert unit.slow_ops == 2

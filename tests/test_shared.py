@@ -1,0 +1,123 @@
+"""Unit tests for the shared elastic module (Figure 4) with schedulers."""
+
+import pytest
+
+from repro.core.scheduler import (
+    PrimaryScheduler,
+    RepairScheduler,
+    StaticScheduler,
+    ToggleScheduler,
+)
+from repro.core.shared import SharedModule
+from repro.elastic.buffers import ElasticBuffer
+from repro.elastic.eemux import EarlyEvalMux
+from repro.elastic.environment import ListSource, Sink
+from repro.netlist.graph import Netlist
+
+from helpers import run
+
+
+def shared_to_mux_net(sels, a_values, b_values, scheduler, fn=lambda x: x):
+    """sources -> shared module -> early-eval mux -> sink, the Section 4.1
+    structure (no intermediate buffers: Lf = Lb = 0)."""
+    net = Netlist("t")
+    net.add(SharedModule("sh", fn, scheduler, n_channels=2))
+    net.add(EarlyEvalMux("mux", n_inputs=2))
+    net.add(ListSource("a", list(a_values)))
+    net.add(ListSource("b", list(b_values)))
+    net.add(ListSource("sel", list(sels)))
+    net.add(Sink("snk"))
+    net.connect("a.o", "sh.i0", name="fin0")
+    net.connect("b.o", "sh.i1", name="fin1")
+    net.connect("sh.o0", "mux.i0", name="fout0")
+    net.connect("sh.o1", "mux.i1", name="fout1")
+    net.connect("sel.o", "mux.s", name="cs")
+    net.connect("mux.o", "snk.i", name="out")
+    net.validate()
+    return net
+
+
+class TestConstruction:
+    def test_scheduler_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            SharedModule("s", lambda x: x, ToggleScheduler(2), n_channels=3)
+
+    def test_requires_scheduler_type(self):
+        with pytest.raises(TypeError):
+            SharedModule("s", lambda x: x, object(), n_channels=2)
+
+
+class TestGranting:
+    def test_predicted_channel_flows(self):
+        net = shared_to_mux_net([0], [41], [], StaticScheduler(2, favourite=0))
+        run(net, 5)
+        assert net.nodes["snk"].values == [41]
+
+    def test_function_applied(self):
+        net = shared_to_mux_net([0], [20], [], StaticScheduler(2, favourite=0),
+                                fn=lambda x: x + 1)
+        run(net, 5)
+        assert net.nodes["snk"].values == [21]
+
+    def test_unpredicted_channel_stalled(self):
+        """With the scheduler stuck on channel 0 and no repair, a token on
+        channel 1 never passes even when selected."""
+        net = shared_to_mux_net([1], [], [7],
+                                StaticScheduler(2, favourite=0, repair=False))
+        run(net, 10)
+        assert net.nodes["snk"].values == []
+        assert net.nodes["b"].emitted == 0
+
+
+class TestMispredictionRepair:
+    def test_repair_after_one_lost_cycle(self):
+        """Misprediction costs exactly one cycle: the stalled output tells
+        the scheduler to flip (the Table 1 mechanism)."""
+        net = shared_to_mux_net([1, 1], [9, 9], [70, 71],
+                                RepairScheduler(2, start=0))
+        run(net, 12)
+        assert net.nodes["snk"].values == [70, 71]
+
+    def test_mispredict_counter(self):
+        net = shared_to_mux_net([1], [5], [6], RepairScheduler(2, start=0))
+        run(net, 8)
+        shared = net.nodes["sh"]
+        assert shared.mispredicts >= 1
+        assert shared.grants >= 1
+
+    def test_primary_scheduler_returns_to_primary(self):
+        """PrimaryScheduler deviates for one replay, then goes back —
+        the Section 5 replay behaviour."""
+        sched = PrimaryScheduler(2, primary=0)
+        net = shared_to_mux_net([0, 1, 0], [1, 2, 3], [50, 51, 52], sched)
+        run(net, 15)
+        values = net.nodes["snk"].values
+        # generation-aligned early-eval semantics: each firing consumes one
+        # token per side.
+        assert values[0] == 1
+        assert 51 in values or 50 in values
+        assert sched.prediction() == 0
+
+
+class TestAntiTokenPassThrough:
+    def test_kill_rushes_through_shared_module(self):
+        """A correct prediction's anti-token must cancel the token stalled
+        at the *input* of the shared module in the same cycle (Lb = 0
+        pass-through of Figure 4)."""
+        net = shared_to_mux_net([0], [1], [99], StaticScheduler(2, favourite=0))
+        sim = run(net, 6)
+        assert net.nodes["snk"].values == [1]
+        # b's token was emitted and destroyed without ever crossing the unit.
+        assert net.nodes["b"].emitted == 1
+        assert sim.stats.cancels["fin1"] == 1
+        assert sim.stats.transfers["fout1"] == 0
+
+
+class TestToggleFairness:
+    def test_both_channels_served(self):
+        net = shared_to_mux_net([0, 1, 0, 1], [1, 2, 3, 4], [11, 12, 13, 14],
+                                ToggleScheduler(2))
+        run(net, 30)
+        values = net.nodes["snk"].values
+        assert len(values) == 4
+        assert any(v < 10 for v in values) and any(v > 10 for v in values)

@@ -1,0 +1,87 @@
+"""Acceptance test: exact reproduction of Table 1 of the paper.
+
+The trace of the Figure 1(d) speculative loop under the toggle scheduler
+must match the published table cell for cell — including the same-cycle
+anti-token cancellations (cycles 0, 1, 3, 4, 6) and the two misprediction
+stalls (cycles 2 and 5).
+
+One documented erratum: the paper prints ``EBin = G`` at cycle 6, but with
+``Sel = 0`` the multiplexor forwards channel 0 whose token is ``F``; our
+trace reports ``F`` (see EXPERIMENTS.md).
+"""
+
+from repro.netlist import patterns
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder, format_trace_table
+
+PAPER_TABLE = {
+    "Fin0":  ["A", "-", "C", "-", "E", "F", "F"],
+    "Fout0": ["A", "-", "C", "-", "E", "*", "F"],
+    "Fin1":  ["-", "B", "D", "D", "-", "G", "-"],
+    "Fout1": ["-", "B", "*", "D", "-", "G", "-"],
+    "EBin":  ["A", "B", "*", "D", "E", "*", "F"],   # paper erratum: G at c6
+}
+PAPER_SEL = [0, 1, 1, 1, 0, 0, 0]
+PAPER_SCHED = [0, 1, 0, 1, 0, 1, 0]
+
+
+def simulate_table1():
+    net, names = patterns.table1_design()
+    order = ["fin0", "fout0", "fin1", "fout1", "ebin"]
+    trace = TraceRecorder(
+        [names[k] for k in order],
+        aliases={names[k]: k.capitalize().replace("bin", "Bin") for k in order},
+    )
+    shared = net.nodes[names["shared"]]
+    sel_row, sched_row = [], []
+
+    class Extra:
+        def observe(self, cycle, netlist):
+            st = netlist.channels[names["sel"]].state
+            sel_row.append(st.data if st.vp else "*")
+            sched_row.append(shared.scheduler.prediction())
+
+    Simulator(net, observers=[trace, Extra()]).run(7)
+    sym = trace.symbol_rows()
+    rows = {alias: sym[names[k]] for k, alias in
+            zip(order, ["Fin0", "Fout0", "Fin1", "Fout1", "EBin"])}
+    return rows, sel_row, sched_row, net, names
+
+
+class TestTable1:
+    def test_channel_rows_match_paper(self):
+        rows, _sel, _sched, _net, _names = simulate_table1()
+        for label in ("Fin0", "Fout0", "Fin1", "Fout1", "EBin"):
+            assert rows[label] == PAPER_TABLE[label], label
+
+    def test_sel_row(self):
+        _rows, sel, _sched, _net, _names = simulate_table1()
+        assert sel == PAPER_SEL
+
+    def test_sched_row_is_toggle(self):
+        _rows, _sel, sched, _net, _names = simulate_table1()
+        assert sched == PAPER_SCHED
+
+    def test_mispredictions_at_cycles_2_and_5(self):
+        _rows, sel, sched, net, names = simulate_table1()
+        mismatch = [c for c, (a, b) in enumerate(zip(sel, sched))
+                    if a != "*" and a != b]
+        assert mismatch == [2, 5]
+        assert net.nodes[names["shared"]].mispredicts == 2
+
+    def test_five_transfers_in_seven_cycles(self):
+        """Two mispredictions cost one cycle each: 5 tokens in 7 cycles."""
+        _rows, _sel, _sched, net, names = simulate_table1()
+        # Re-simulate to use stats (simulate_table1 already consumed the run).
+        net, names = patterns.table1_design()
+        sim = Simulator(net).run(7)
+        assert sim.stats.transfers[names["ebin"]] == 5
+
+    def test_formatting_renders_table(self):
+        net, names = patterns.table1_design()
+        order = ["fin0", "fout0", "fin1", "fout1", "ebin"]
+        trace = TraceRecorder([names[k] for k in order])
+        Simulator(net, observers=[trace]).run(7)
+        text = format_trace_table(trace, title="Table 1")
+        assert "Table 1" in text
+        assert "A - C - E F F" in " ".join(text.split())

@@ -1,0 +1,91 @@
+"""Tests for trace recording, Table-1-style rendering and VCD export."""
+
+import os
+
+from repro.netlist import patterns
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder, VcdWriter, format_trace_table, _letters
+
+
+class TestLetterGenerator:
+    def test_sequence(self):
+        gen = _letters()
+        first = [next(gen) for _ in range(30)]
+        assert first[:4] == ["A", "B", "C", "D"]
+        assert first[25] == "Z"
+        assert first[26] == "AA"
+        assert first[27] == "AB"
+
+
+class TestSymbols:
+    def test_bubble_token_anti_rendering(self):
+        net, names = patterns.table1_design()
+        trace = TraceRecorder([names["fout1"]])
+        Simulator(net, observers=[trace]).run(7)
+        row = trace.symbol_rows()[names["fout1"]]
+        # letters are assigned per recorder: this one only watches Fout1,
+        # so its tokens become A, B, C (B, D, G in the full Table 1).
+        assert row == ["-", "A", "*", "B", "-", "C", "-"]
+
+    def test_letters_assigned_in_appearance_order(self):
+        net, names = patterns.table1_design()
+        trace = TraceRecorder([names["fin0"], names["fin1"]])
+        Simulator(net, observers=[trace]).run(3)
+        rows = trace.symbol_rows()
+        assert rows[names["fin0"]][0] == "A"    # first visible token
+        assert rows[names["fin1"]][1] == "B"    # second distinct token
+
+    def test_value_rows_expose_raw_data(self):
+        net, names = patterns.table1_design()
+        trace = TraceRecorder([names["ebin"]])
+        Simulator(net, observers=[trace]).run(3)
+        values = trace.value_rows()[names["ebin"]]
+        assert values[0] == (0, 1)              # branch 0, generation 1
+        assert values[2] is None                # stall cycle
+
+
+class TestFormatting:
+    def test_aliases_used(self):
+        net, names = patterns.table1_design()
+        trace = TraceRecorder([names["fin0"]], aliases={names["fin0"]: "Fin0"})
+        Simulator(net, observers=[trace]).run(2)
+        text = format_trace_table(trace)
+        assert "Fin0" in text
+
+    def test_extra_rows_appended(self):
+        net, names = patterns.table1_design()
+        trace = TraceRecorder([names["fin0"]])
+        Simulator(net, observers=[trace]).run(3)
+        text = format_trace_table(trace, extra_rows={"Sel": [0, 1, 1]})
+        assert "Sel" in text
+
+    def test_cycle_header(self):
+        net, names = patterns.table1_design()
+        trace = TraceRecorder([names["fin0"]])
+        Simulator(net, observers=[trace]).run(4)
+        assert format_trace_table(trace).splitlines()[0].startswith("Cycle")
+
+
+class TestVcd:
+    def test_vcd_file_well_formed(self, tmp_path):
+        net, names = patterns.table1_design()
+        vcd = VcdWriter([names["fin0"], names["ebin"]])
+        Simulator(net, observers=[vcd]).run(7)
+        path = vcd.write(os.path.join(tmp_path, "trace.vcd"))
+        with open(path) as fh:
+            text = fh.read()
+        assert "$timescale" in text
+        assert "$enddefinitions" in text
+        assert "#0" in text
+        # two channels x four control bits declared
+        assert text.count("$var wire 1") == 8
+
+    def test_vcd_only_emits_changes(self, tmp_path):
+        net = patterns.eb_chain(1, source_values=[])   # nothing ever moves
+        vcd = VcdWriter(["ch0"])
+        Simulator(net, observers=[vcd]).run(5)
+        path = vcd.write(os.path.join(tmp_path, "idle.vcd"))
+        with open(path) as fh:
+            body = fh.read().split("$enddefinitions $end")[1]
+        # initial values at #0 plus the final end-of-trace timestamp
+        assert body.count("#") <= 3

@@ -1,0 +1,195 @@
+"""Model checking tests: protocol compliance, deadlock freedom and the
+scheduler leads-to property — the Section 4.2 verification, rebuilt on the
+library's explicit-state explorer."""
+
+import pytest
+
+from repro.core.scheduler import (
+    NondetScheduler,
+    RepairScheduler,
+    StaticScheduler,
+    ToggleScheduler,
+)
+from repro.core.shared import SharedModule
+from repro.elastic.buffers import ElasticBuffer, ZeroBackwardLatencyBuffer
+from repro.elastic.eemux import EarlyEvalMux
+from repro.elastic.environment import NondetSink, NondetSource
+from repro.elastic.functional import Func
+from repro.netlist.graph import Netlist
+from repro.verif.deadlock import assert_deadlock_free, find_deadlocks
+from repro.verif.explore import StateExplorer, explore_or_raise
+from repro.verif.leads_to import check_leads_to
+
+
+def eb_under_nondet(make_buffer):
+    net = Netlist("mc")
+    net.add(NondetSource("src"))
+    net.add(make_buffer())
+    net.add(NondetSink("snk", can_kill=True))
+    net.connect("src.o", net.nodes[_buf_name(net)].name + ".i", name="in")
+    net.connect(_buf_name(net) + ".o", "snk.i", name="out")
+    net.validate()
+    return net
+
+
+def _buf_name(net):
+    for name, node in net.nodes.items():
+        if node.kind in ("eb", "zbl_eb"):
+            return name
+    raise AssertionError
+
+
+class TestElasticBufferCompliance:
+    def test_standard_eb_protocol_and_deadlock(self):
+        """Exhaustive: EB under all source/sink/kill behaviours satisfies
+        Retry+/-, the invariant, and never deadlocks."""
+        net = eb_under_nondet(lambda: ElasticBuffer("eb"))
+        result = explore_or_raise(net, max_states=5000)
+        assert result.n_states > 4
+        assert_deadlock_free(result)
+
+    def test_zbl_eb_protocol_and_deadlock(self):
+        net = eb_under_nondet(lambda: ZeroBackwardLatencyBuffer("eb"))
+        result = explore_or_raise(net, max_states=5000)
+        assert_deadlock_free(result)
+
+    def test_eb_chain_protocol(self):
+        net = Netlist("mc")
+        net.add(NondetSource("src"))
+        net.add(ElasticBuffer("e0"))
+        net.add(ZeroBackwardLatencyBuffer("e1"))
+        net.add(NondetSink("snk", can_kill=True))
+        net.connect("src.o", "e0.i", name="a")
+        net.connect("e0.o", "e1.i", name="b")
+        net.connect("e1.o", "snk.i", name="c")
+        result = explore_or_raise(net, max_states=20000)
+        assert_deadlock_free(result)
+
+
+def shared_mux_mc_net(scheduler):
+    """Nondet sources -> shared module -> EE mux -> nondet (non-killing)
+    sink, with a nondet select source: the Section 4.2 composition."""
+    net = Netlist("mc")
+    net.add(NondetSource("a"))
+    net.add(NondetSource("b"))
+    net.add(_BinarySelectSource("sel"))
+    net.add(SharedModule("sh", lambda x: x, scheduler, n_channels=2))
+    net.add(EarlyEvalMux("mux", n_inputs=2))
+    net.add(NondetSink("snk"))
+    net.connect("a.o", "sh.i0", name="fin0")
+    net.connect("b.o", "sh.i1", name="fin1")
+    net.connect("sh.o0", "mux.i0", name="fout0")
+    net.connect("sh.o1", "mux.i1", name="fout1")
+    net.connect("sel.o", "mux.s", name="cs")
+    net.connect("mux.o", "snk.i", name="out")
+    net.validate()
+    return net
+
+
+class _BinarySelectSource(NondetSource):
+    """Nondet source emitting 0/1 select tokens (choice picks idle/0/1)."""
+
+    def choice_space(self):
+        return 1 if self._offering else 3
+
+    def pre_cycle(self):
+        if not self._offering and self._choice in (1, 2):
+            self._offering = True
+            self._value = self._choice - 1
+
+    def comb(self):
+        changed = self.drive("o", "vp", self._offering)
+        if self._offering:
+            changed |= self.drive("o", "data", self._value)
+        changed |= self.drive("o", "sm", False)
+        return changed
+
+    def reset(self):
+        super().reset()
+        self._value = 0
+
+    def tick(self):
+        ost = self.st("o")
+        if ost.vp and not ost.sp:
+            self._offering = False
+            self.emitted += 1
+
+    def snapshot(self):
+        return (self._offering, self._value)
+
+    def restore(self, state):
+        self._offering, self._value = state
+
+
+class TestSpeculationCompliance:
+    @pytest.mark.parametrize("make_sched", [
+        lambda: ToggleScheduler(2),
+        lambda: RepairScheduler(2),
+    ])
+    def test_protocol_holds_for_compliant_schedulers(self, make_sched):
+        net = shared_mux_mc_net(make_sched())
+        result = explore_or_raise(net, max_states=60000)
+        assert_deadlock_free(result)
+
+    def test_nondet_scheduler_protocol_safe(self):
+        """Even a fully nondeterministic scheduler keeps the protocol safe
+        (safety does not depend on the prediction strategy)."""
+        net = shared_mux_mc_net(NondetScheduler(2))
+        result = explore_or_raise(net, max_states=120000)
+        assert result.violations == []
+
+
+class TestLeadsTo:
+    def test_compliant_scheduler_is_starvation_free(self):
+        net = shared_mux_mc_net(ToggleScheduler(2))
+        result = StateExplorer(net, max_states=60000).explore()
+        ok0, _ = check_leads_to(result, "fin0", "fout0")
+        ok1, _ = check_leads_to(result, "fin1", "fout1")
+        assert ok0 and ok1
+
+    def test_repair_scheduler_is_starvation_free(self):
+        net = shared_mux_mc_net(RepairScheduler(2))
+        result = StateExplorer(net, max_states=60000).explore()
+        ok0, _ = check_leads_to(result, "fin0", "fout0")
+        ok1, _ = check_leads_to(result, "fin1", "fout1")
+        assert ok0 and ok1
+
+    def test_broken_scheduler_starves(self):
+        """A static scheduler without repair violates leads-to: a token on
+        the never-predicted channel waits forever — the failure mode the
+        paper's constraint (1) excludes."""
+        net = shared_mux_mc_net(StaticScheduler(2, favourite=0, repair=False))
+        result = StateExplorer(net, max_states=60000).explore()
+        ok1, lasso = check_leads_to(result, "fin1", "fout1")
+        assert not ok1
+        assert lasso
+
+
+class TestDeadlockDetection:
+    def test_manufactured_deadlock_found(self):
+        """A join whose second input can never be fed deadlocks as soon as
+        the first input commits a token."""
+        net = Netlist("dead")
+        net.add(NondetSource("a"))
+        net.add(Func("join", lambda x, y: x, n_inputs=2))
+        net.add(ElasticBuffer("loop_eb"))          # empty: never produces
+        net.add(NondetSink("snk"))
+        net.connect("a.o", "join.i0", name="ca")
+        net.connect("loop_eb.o", "join.i1", name="cb")
+        net.connect("join.o", "snk.i", name="out")
+        # close the loop so validation passes but no token ever circulates
+        net2 = Netlist("dead2")
+        # simpler: feed loop_eb from a source that never offers
+        net.add(_NeverSource("never"))
+        net.connect("never.o", "loop_eb.i", name="cn")
+        net.validate()
+        result = StateExplorer(net, max_states=2000).explore()
+        assert find_deadlocks(result)
+
+
+class _NeverSource(NondetSource):
+    def choice_space(self):
+        return 1
+
+    def pre_cycle(self):
+        pass
