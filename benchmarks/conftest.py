@@ -5,6 +5,7 @@ headline claim, writes the rendered table to ``benchmarks/results/`` and
 times its central simulation with pytest-benchmark.
 """
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -16,4 +17,15 @@ def write_result(name, text):
     path = os.path.join(RESULTS_DIR, name)
     with open(path, "w") as fh:
         fh.write(text if text.endswith("\n") else text + "\n")
+    return path
+
+
+def write_json(name, payload):
+    """Persist a machine-readable result (perf-trajectory tracking across
+    PRs); returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return path

@@ -8,6 +8,12 @@ Usage (after installation)::
     python -m repro fig7 [--error-rate 0.1]    # SECDED resilience study
     python -m repro verify                     # model-check the controllers
     python -m repro export DIR [--design fig1d]  # Verilog/SMV/dot artifacts
+    python -m repro profile [--design fig1d]   # fix-point engine profile
+
+The global ``--engine {worklist,naive}`` option (before the subcommand)
+selects the fix-point engine for every simulation and model-checking run;
+the event-driven worklist engine is the default, the dense-sweep naive
+engine is kept for cross-checking.
 
 Each subcommand prints the same tables the benchmarks regenerate, so the
 paper's results are reproducible without pytest.
@@ -228,6 +234,16 @@ _DESIGNS = {
 }
 
 
+def _cmd_profile(args):
+    from repro.sim.profile import format_profile, profile_run
+
+    net = _DESIGNS[args.design]()
+    report = profile_run(net, cycles=args.cycles)
+    print(f"design={args.design}")
+    print(format_profile(report))
+    return 0
+
+
 def _cmd_export(args):
     from repro.backend.smv import to_smv
     from repro.backend.verilog import to_verilog
@@ -247,6 +263,11 @@ def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Speculation in Elastic Systems (DAC 2009) — reproduction toolkit",
+    )
+    parser.add_argument(
+        "--engine", choices=["worklist", "naive"], default=None,
+        help="fix-point engine for all simulation/verification "
+             "(default: worklist)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -281,12 +302,28 @@ def build_parser():
     p.add_argument("--design", choices=sorted(_DESIGNS), default="fig1d")
     p.set_defaults(fn=_cmd_export)
 
+    p = sub.add_parser(
+        "profile", help="per-node-kind comb() call counts and sweep histograms"
+    )
+    p.add_argument("--design", choices=sorted(_DESIGNS), default="fig1d")
+    p.add_argument("--cycles", type=int, default=500)
+    p.set_defaults(fn=_cmd_profile)
+
     return parser
 
 
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.engine is not None:
+        from repro.sim.engine import get_default_engine, set_default_engine
+
+        previous = get_default_engine()
+        set_default_engine(args.engine)
+        try:
+            return args.fn(args)
+        finally:
+            set_default_engine(previous)
     return args.fn(args)
 
 

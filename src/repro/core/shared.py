@@ -83,6 +83,19 @@ class SharedModule(Node):
 
     # -- combinational -------------------------------------------------------------
 
+    def comb_reads(self):
+        # Per channel pair: the input token (valid/data/anti-stop) and the
+        # output-side back-pressure and kill, which rush backward
+        # combinationally (Section 4.1 / 4.3).
+        reads = []
+        for j in range(self.n_channels):
+            reads.append((f"i{j}", "vp"))
+            reads.append((f"i{j}", "data"))
+            reads.append((f"i{j}", "sm"))
+            reads.append((f"o{j}", "vm"))
+            reads.append((f"o{j}", "sp"))
+        return reads
+
     def comb(self):
         changed = False
         g = self.scheduler.prediction()

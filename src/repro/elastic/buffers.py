@@ -100,6 +100,11 @@ class ElasticBuffer(Node):
 
     # -- combinational behaviour (all driven from registered state) -----------
 
+    def comb_reads(self):
+        # Fully registered: comb() is a function of the wr/rd pointers only,
+        # so the worklist engine never needs to re-evaluate it within a cycle.
+        return []
+
     def comb(self):
         changed = False
         c = self.count
@@ -191,6 +196,12 @@ class ZeroBackwardLatencyBuffer(Node):
 
     def restore(self, state):
         self._full, self._value = state
+
+    def comb_reads(self):
+        # The Lb=0 controller lets stop/kill rush through combinationally:
+        # i.sp follows o.sp/o.vm while full, the anti-token pass-through
+        # reads o.vm and the upstream i.sm while empty.
+        return [("o", "sp"), ("o", "vm"), ("i", "sm")]
 
     def comb(self):
         changed = False

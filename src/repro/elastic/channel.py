@@ -31,11 +31,24 @@ fix-point):
 From the producer's point of view the token is gone whenever
 ``vp and not sp`` (forward transfer *or* cancellation).  From the consumer's
 point of view a data token is received only on a forward transfer.
+
+Signal-change reporting
+-----------------------
+
+:meth:`ChannelState.set` is the single funnel every combinational drive goes
+through.  Besides enforcing monotonicity it can *report* which signal
+changed: the event-driven simulation engine registers a shared change log
+(``state.log``) and a per-channel signal-id base (``state.base``); every
+``unknown -> known`` transition appends the global signal id
+``base + SIG_INDEX[name]`` to the log, which is what lets the engine enqueue
+exactly the nodes sensitive to that signal instead of re-sweeping the whole
+netlist.  When no log is registered (naive engine, unit tests) the append is
+skipped and behaviour is exactly the classic one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import SignalConflictError
 from repro.kleene import as_bool
@@ -52,16 +65,39 @@ SIGNALS_BY_ROLE = {
 
 CONTROL_SIGNALS = ("vp", "sp", "vm", "sm")
 
+#: All per-channel signals, in global-signal-id order.
+ALL_SIGNALS = ("vp", "sp", "vm", "sm", "data")
 
-@dataclass
+#: signal name -> offset within a channel's signal-id block.
+SIG_INDEX = {name: i for i, name in enumerate(ALL_SIGNALS)}
+
+#: signals per channel (size of one channel's signal-id block).
+N_SIGNALS = len(ALL_SIGNALS)
+
+
 class ChannelState:
-    """Per-cycle signal values of one channel (``None`` = unresolved)."""
+    """Per-cycle signal values of one channel (``None`` = unresolved).
 
-    vp: object = None
-    sp: object = None
-    vm: object = None
-    sm: object = None
-    data: object = None
+    ``base``/``log`` are the change-reporting hooks used by the worklist
+    engine (see the module docstring); both are inert by default.
+    """
+
+    __slots__ = ("vp", "sp", "vm", "sm", "data", "base", "log")
+
+    def __init__(self):
+        self.vp = None
+        self.sp = None
+        self.vm = None
+        self.sm = None
+        self.data = None
+        self.base = 0
+        self.log = None
+
+    def __repr__(self):
+        return (
+            f"ChannelState(vp={self.vp!r}, sp={self.sp!r}, "
+            f"vm={self.vm!r}, sm={self.sm!r}, data={self.data!r})"
+        )
 
     def clear(self):
         self.vp = None
@@ -74,13 +110,17 @@ class ChannelState:
         """Monotone signal update: unknown -> known is allowed, a re-write
         with the same value is a no-op, and a conflicting re-write raises.
 
-        Returns True when the state changed (used by the fix-point loop).
+        Returns True when the state changed (used by the fix-point loop);
+        the change is also appended to ``self.log`` when one is registered.
         """
         if value is None:
             return False
         old = getattr(self, name)
         if old is None:
             setattr(self, name, value)
+            log = self.log
+            if log is not None:
+                log.append(self.base + SIG_INDEX[name])
             return True
         if old != value:
             raise SignalConflictError(
@@ -129,12 +169,17 @@ class Channel:
     Verilog back-end); the Python simulator carries arbitrary values.
     """
 
+    __slots__ = ("name", "width", "producer", "consumer", "state", "events_cache")
+
     def __init__(self, name, width=8):
         self.name = name
         self.width = width
         self.producer = None      # (node_name, port_name)
         self.consumer = None      # (node_name, port_name)
         self.state = ChannelState()
+        #: per-cycle :class:`ChannelEvents`, resolved once by the engine
+        #: after the fix-point; ``None`` while signals are still settling.
+        self.events_cache = None
 
     def __repr__(self):
         return f"Channel({self.name!r}, {self.producer}->{self.consumer})"
@@ -160,7 +205,25 @@ class Channel:
     # -- per-cycle resolution ---------------------------------------------
 
     def events(self):
-        """Compute the cycle's :class:`ChannelEvents` from resolved signals."""
+        """The cycle's :class:`ChannelEvents`.
+
+        Returns the per-cycle cache when the engine has already resolved it
+        (the common case — statistics, monitors, transfer logs and node
+        ``tick`` handlers all share one computation per cycle); otherwise
+        computes from the current signals.
+        """
+        cached = self.events_cache
+        if cached is not None:
+            return cached
+        return self._compute_events()
+
+    def resolve_events(self):
+        """Compute the cycle's events once and cache them (engine use)."""
+        events = self._compute_events()
+        self.events_cache = events
+        return events
+
+    def _compute_events(self):
         st = self.state
         vp = as_bool(st.vp, f"{self.name}.vp")
         sp = as_bool(st.sp, f"{self.name}.sp")

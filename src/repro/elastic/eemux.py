@@ -77,6 +77,16 @@ class EarlyEvalMux(Node):
         avail = kand(ist.vp, self._pk[sel] == 0)
         return sel, avail
 
+    def comb_reads(self):
+        # The fire decision reads across ports: select valid *and data*
+        # (the data value picks which input's valid/data matter — declare
+        # them all), plus the downstream stop.
+        reads = [("s", "vp"), ("s", "data"), ("o", "sp")]
+        for j in range(self.n_inputs):
+            reads.append((f"i{j}", "vp"))
+            reads.append((f"i{j}", "data"))
+        return reads
+
     def comb(self):
         changed = False
         ost = self.st("o")

@@ -45,6 +45,10 @@ class _SourceBase(Node):
         self._value = None
         self._skip = 0           # future tokens already killed by anti-tokens
 
+    def comb_reads(self):
+        # Drives purely from the offer registers frozen in pre_cycle.
+        return []
+
     def comb(self):
         changed = False
         if not self._offering and self._pending_start:
@@ -189,6 +193,9 @@ class Sink(Node):
     def pre_cycle(self):
         self._stall_now = self.stall_rate > 0 and self._rng.random() < self.stall_rate
 
+    def comb_reads(self):
+        return []
+
     def comb(self):
         changed = self.drive("i", "sp", self._stall_now)
         changed |= self.drive("i", "vm", False)
@@ -245,6 +252,9 @@ class KillerSink(Node):
             not self._killing and self.stall_rate > 0 and self._rng.random() < self.stall_rate
         )
 
+    def comb_reads(self):
+        return []
+
     def comb(self):
         changed = self.drive("i", "vm", self._killing)
         # Kill and stop are mutually exclusive.
@@ -300,6 +310,9 @@ class NondetSource(Node):
         if not self._offering and self._choice == 1:
             self._offering = True
 
+    def comb_reads(self):
+        return []
+
     def comb(self):
         changed = self.drive("o", "vp", self._offering)
         if self._offering:
@@ -350,6 +363,9 @@ class NondetSink(Node):
     def pre_cycle(self):
         if not self._killing and self.can_kill and self._choice == 2:
             self._killing = True
+
+    def comb_reads(self):
+        return []
 
     def comb(self):
         if self._killing:

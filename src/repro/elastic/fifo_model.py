@@ -69,6 +69,11 @@ class AbstractElasticFifo(Node):
 
     # -- combinational ---------------------------------------------------------------
 
+    def comb_reads(self):
+        # Offers/stops are functions of the pointers, retry registers and
+        # the frozen nondeterministic choice only.
+        return []
+
     def comb(self):
         changed = False
         offer_token = self._retry_plus or (

@@ -48,6 +48,14 @@ class EagerFork(Node):
 
     # -- combinational -----------------------------------------------------------
 
+    def comb_reads(self):
+        # Reads across ports: the input token (valid + data) and every
+        # branch's downstream stop feed the shared completion logic.
+        reads = [("i", "vp"), ("i", "data")]
+        for k in range(self.n_outputs):
+            reads.append((f"o{k}", "sp"))
+        return reads
+
     def comb(self):
         changed = False
         ist = self.st("i")

@@ -68,6 +68,15 @@ class Func(Node):
     def _in(self, i):
         return self.st(f"i{i}")
 
+    def comb_reads(self):
+        # Lazy join: fires on the input valids (and their data) and the
+        # downstream stop; it never reads i.sm or o.vm combinationally.
+        reads = [("o", "sp")]
+        for i in range(self.n_inputs):
+            reads.append((f"i{i}", "vp"))
+            reads.append((f"i{i}", "data"))
+        return reads
+
     def comb(self):
         changed = False
         ost = self.st("o")

@@ -21,7 +21,7 @@ performance models.
 
 from __future__ import annotations
 
-from repro.elastic.channel import PRODUCER, CONSUMER
+from repro.elastic.channel import PRODUCER, CONSUMER, SIGNALS_BY_ROLE
 
 
 class PortRole:
@@ -90,6 +90,45 @@ class Node:
     def ev(self, port):
         """Resolved :class:`ChannelEvents` at ``port`` (tick time only)."""
         return self._channels[port].events()
+
+    # -- static sensitivity (worklist engine) ---------------------------------
+
+    def comb_reads(self):
+        """``(port, signal)`` pairs :meth:`comb` may *read*.
+
+        The worklist engine re-evaluates a node only when one of these
+        signals changes, so the default is deliberately conservative: every
+        signal the opposite endpoint may drive, on every port (a consumer
+        port reads ``vp``/``sm``/``data``, a producer port reads
+        ``sp``/``vm``).  Subclasses whose combinational function reads less
+        — elastic buffers and environments drive purely from sequential
+        state, for instance — override this to narrow the set; subclasses
+        must never read a channel signal outside the set they declare.
+        """
+        reads = []
+        for port in self.in_ports:
+            for sig in SIGNALS_BY_ROLE[PRODUCER]:
+                reads.append((port, sig))
+        for port in self.out_ports:
+            for sig in SIGNALS_BY_ROLE[CONSUMER]:
+                reads.append((port, sig))
+        return reads
+
+    def comb_writes(self):
+        """``(port, signal)`` pairs :meth:`comb` may *drive*.
+
+        Derived from port roles: a consumer port drives ``sp``/``vm``, a
+        producer port drives ``vp``/``sm``/``data``.  This is exactly what
+        :meth:`drive` permits, so there is rarely a reason to override it.
+        """
+        writes = []
+        for port in self.in_ports:
+            for sig in SIGNALS_BY_ROLE[CONSUMER]:
+                writes.append((port, sig))
+        for port in self.out_ports:
+            for sig in SIGNALS_BY_ROLE[PRODUCER]:
+                writes.append((port, sig))
+        return writes
 
     # -- simulation interface -------------------------------------------------
 

@@ -69,6 +69,10 @@ class VariableLatencyUnit(Node):
 
     # -- combinational ---------------------------------------------------------
 
+    def comb_reads(self):
+        # Drives purely from the (registered) two-slot station.
+        return []
+
     def comb(self):
         changed = False
         head_ready = bool(self._q) and self._q[0][1] == 0

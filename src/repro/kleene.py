@@ -21,6 +21,15 @@ from __future__ import annotations
 
 def kand(*xs):
     """Kleene AND over any number of inputs (``None`` = unknown)."""
+    # Fast path for the ubiquitous 2-argument case (node controllers are
+    # almost exclusively built from binary gates): no loop, no flag.
+    if len(xs) == 2:
+        a, b = xs
+        if a is False or b is False:
+            return False
+        if a is None or b is None:
+            return None
+        return True
     unknown = False
     for x in xs:
         if x is False:
@@ -32,6 +41,13 @@ def kand(*xs):
 
 def kor(*xs):
     """Kleene OR over any number of inputs (``None`` = unknown)."""
+    if len(xs) == 2:
+        a, b = xs
+        if a is True or b is True:
+            return True
+        if a is None or b is None:
+            return None
+        return False
     unknown = False
     for x in xs:
         if x is True:

@@ -167,6 +167,7 @@ class Netlist:
             node.reset()
         for channel in self.channels.values():
             channel.state.clear()
+            channel.events_cache = None
 
     def snapshot(self):
         return tuple(

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from repro.core.scheduler import ToggleScheduler
 from repro.core.speculation import speculate
-from repro.elastic.buffers import ElasticBuffer
+from repro.elastic.buffers import ElasticBuffer, ZeroBackwardLatencyBuffer
 from repro.elastic.environment import ListSource, Sink
 from repro.elastic.fork import EagerFork
 from repro.elastic.functional import Func, identity_block
@@ -252,6 +252,33 @@ def token_ring(n_stages, n_tokens, capacity=2, observe="ring0"):
     for i in range(n_stages):
         nxt = (i + 1) % n_stages
         net.connect(f"eb{i}.o", f"eb{nxt}.i", name=f"ring{i}")
+    net.validate()
+    return net
+
+
+def deep_pipeline(n_stages, source_values=None, stall_rate=0.3, seed=0):
+    """source -> [Func -> ZBL-EB]^n -> sink: a deep elastic pipeline with
+    *combinational* backward control.
+
+    Each stage is a function block followed by a Figure 5 zero-backward-
+    latency buffer, so stop/kill bits travel combinationally through the
+    whole pipeline (the Section 4.3 caveat).  With a stalling sink the
+    back-pressure chain spans all ``2 * n_stages`` nodes — the worst case
+    for a dense-sweep fix-point engine (one sweep per node) and the
+    motivating case for the event-driven worklist engine.
+    """
+    net = Netlist("deep_pipeline")
+    values = source_values if source_values is not None else list(range(256))
+    net.add(ListSource("src", values))
+    prev = "src.o"
+    for i in range(n_stages):
+        net.add(Func(f"f{i}", lambda x: x + 1, n_inputs=1))
+        net.connect(prev, f"f{i}.i0", name=f"fc{i}")
+        net.add(ZeroBackwardLatencyBuffer(f"z{i}"))
+        net.connect(f"f{i}.o", f"z{i}.i", name=f"zc{i}")
+        prev = f"z{i}.o"
+    net.add(Sink("snk", stall_rate=stall_rate, seed=seed))
+    net.connect(prev, "snk.i", name="out")
     net.validate()
     return net
 

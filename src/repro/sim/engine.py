@@ -5,21 +5,85 @@ Each clock cycle proceeds in four phases:
 1. **pre-cycle** — every node freezes its randomized / nondeterministic
    choices for the cycle;
 2. **combinational fix-point** — node ``comb`` functions are evaluated
-   repeatedly (over three-valued signals, all starting unknown) until no
-   signal changes.  Monotonicity of the node logic guarantees convergence;
+   (over three-valued signals, all starting unknown) until no signal
+   changes.  Monotonicity of the node logic guarantees convergence;
    signals still unknown at the fix-point indicate a genuine combinational
    cycle and raise :class:`~repro.errors.CombinationalLoopError` — the
    hazard the paper warns about when chaining zero-backward-latency buffers;
-3. **observation** — protocol monitors, statistics and traces sample the
-   resolved channels;
+3. **observation** — channel events are resolved *once* and cached on every
+   channel; protocol monitors, statistics and traces sample them;
 4. **tick** — every node updates its sequential state.
+
+Fix-point engines
+-----------------
+
+Two interchangeable fix-point engines are provided (``engine=`` parameter,
+process-wide default via :func:`set_default_engine`):
+
+``worklist`` (default) — event-driven evaluation over a **static
+sensitivity map**.  At construction the engine asks every node which
+channel signals its ``comb`` may read (:meth:`Node.comb_reads`, derived
+from port roles with per-node narrowing) and which it may drive
+(:meth:`Node.comb_writes`), and inverts the read sets into
+signal -> dependent-node lists.  Every ``unknown -> known`` signal
+transition inside :meth:`ChannelState.set` is appended to a shared change
+log, so after evaluating a node the engine enqueues exactly the nodes
+sensitive to what actually changed.
+
+The once-per-cycle seed pass visits every node (each node's outputs depend
+on its sequential state, so each must run at least once) in a **levelized
+order**: a topological sort of the writer -> reader dependency graph.  On
+the acyclic majority of the control network — everything separated by fully
+registered elastic buffers — each node therefore runs *exactly once* per
+cycle; the worklist only re-evaluates nodes inside the cyclic regions that
+zero-backward-latency buffers, lazy joins and speculative loops create, and
+only when a signal they read becomes known after they last ran.
+
+*Convergence argument*: node logic is monotone over the Kleene information
+order (``None`` below ``False``/``True``), and :meth:`ChannelState.set`
+only ever moves a signal ``unknown -> known`` (a conflicting re-write
+raises).  Each of the ``5 * |channels|`` signals can thus change at most
+once per cycle, each change enqueues at most ``|nodes|`` dependents, and a
+node evaluation with no change enqueues nothing — so the worklist drains
+after at most ``O(|nodes| + changes * max_fanout)`` evaluations and the
+state it drains at is the least fixed point (any still-unknown signal
+genuinely depends on itself through a combinational cycle).  The dense
+engine computes the same least fixed point by repeated full sweeps, so the
+two engines are behaviourally identical — which the differential fuzz tests
+assert.
+
+``naive`` — the original dense Gauss–Seidel sweep (every node, every sweep,
+until quiescence; O(nodes²) node evaluations per cycle on deep combinational
+chains).  Kept for differential testing and as a reference semantics.
 """
 
 from __future__ import annotations
 
+from collections import deque
+
+from repro.elastic.channel import N_SIGNALS, SIG_INDEX
+from repro.elastic.node import Node
 from repro.errors import CombinationalLoopError
 from repro.sim.monitors import ProtocolMonitor
 from repro.sim.stats import ChannelStats
+
+#: Recognized fix-point engines.
+ENGINES = ("worklist", "naive")
+
+_default_engine = "worklist"
+
+
+def set_default_engine(name):
+    """Set the process-wide default fix-point engine (CLI ``--engine``)."""
+    global _default_engine
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; choose from {ENGINES}")
+    _default_engine = name
+
+
+def get_default_engine():
+    """The engine used when ``Simulator(engine=None)``."""
+    return _default_engine
 
 
 class Simulator:
@@ -36,12 +100,30 @@ class Simulator:
         Optional iterable of objects with an ``observe(cycle, netlist)``
         method called after each fix-point (trace recorders etc.).
     max_iterations:
-        Safety bound on fix-point sweeps per cycle.
+        Safety bound on fix-point sweeps per cycle (naive engine only; the
+        worklist engine terminates by monotonicity).
+    engine:
+        ``"worklist"`` (event-driven, default) or ``"naive"`` (dense
+        sweep); ``None`` picks the process-wide default.
+    profile:
+        Record per-node ``comb()`` call counts and per-cycle evaluation /
+        sweep histograms (see :mod:`repro.sim.profile`).
+
+    A netlist has a single owning simulator at a time: constructing a new
+    :class:`Simulator` on the same netlist re-registers the channels'
+    change logs, so a previously constructed simulator must not be stepped
+    afterwards (it raises rather than silently missing change events).
     """
 
-    def __init__(self, netlist, check_protocol=True, observers=(), max_iterations=None):
+    def __init__(self, netlist, check_protocol=True, observers=(),
+                 max_iterations=None, engine=None, profile=False):
         netlist.validate()
+        if engine is None:
+            engine = _default_engine
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
         self.netlist = netlist
+        self.engine = engine
         self.cycle = 0
         self.observers = list(observers)
         self.stats = ChannelStats(netlist)
@@ -51,42 +133,189 @@ class Simulator:
         self.max_iterations = max_iterations or (len(netlist.nodes) + 2)
         self._nodes = list(netlist.nodes.values())
         self._channels = list(netlist.channels.values())
+        # Pre-bound method lists: the per-cycle loops call these directly
+        # instead of re-resolving attributes on every node every cycle.
+        self._combs = [node.comb for node in self._nodes]
+        self._ticks = [node.tick for node in self._nodes
+                       if type(node).tick is not Node.tick]
+        self._pre_cycles = [node.pre_cycle for node in self._nodes
+                            if type(node).pre_cycle is not Node.pre_cycle]
+        self._choosers = [node for node in self._nodes
+                          if type(node).choice_space is not Node.choice_space]
+        self.profile = bool(profile)
+        if self.profile:
+            self.comb_calls = [0] * len(self._nodes)
+            self.evals_per_cycle = []    # worklist: evaluations; naive: comb calls
+            self.sweeps_per_cycle = []   # naive only (worklist records 1 seed pass)
+        if engine == "worklist":
+            self._build_sensitivity()
+            self._fixpoint = self._fixpoint_worklist
+        else:
+            # Detach any change log a previous worklist simulator registered.
+            for channel in self._channels:
+                channel.state.log = None
+            self._fixpoint = self._fixpoint_naive
         netlist.reset()
+
+    # -- static sensitivity analysis (worklist engine) -----------------------------
+
+    def _build_sensitivity(self):
+        """Build the signal -> dependent-nodes map and the levelized seed order."""
+        nodes = self._nodes
+        self._log = []
+        for index, channel in enumerate(self._channels):
+            state = channel.state
+            state.base = index * N_SIGNALS
+            state.log = self._log
+        n_signals = N_SIGNALS * len(self._channels)
+        readers = [[] for _ in range(n_signals)]
+        for ni, node in enumerate(nodes):
+            for port, signal in node.comb_reads():
+                state = node._channels[port].state
+                readers[state.base + SIG_INDEX[signal]].append(ni)
+        # Writer -> reader dependency edges, for levelization.
+        succ = [set() for _ in nodes]
+        for ni, node in enumerate(nodes):
+            for port, signal in node.comb_writes():
+                state = node._channels[port].state
+                for rj in readers[state.base + SIG_INDEX[signal]]:
+                    if rj != ni:
+                        succ[ni].add(rj)
+        indegree = [0] * len(nodes)
+        for targets in succ:
+            for j in targets:
+                indegree[j] += 1
+        # Kahn's algorithm; when only cyclic regions remain, seed them in
+        # declaration order — the worklist converges them regardless.
+        order = []
+        placed = [False] * len(nodes)
+        ready = deque(i for i, d in enumerate(indegree) if d == 0)
+        scan = 0
+        while len(order) < len(nodes):
+            if not ready:
+                while placed[scan]:
+                    scan += 1
+                ready.append(scan)
+            i = ready.popleft()
+            if placed[i]:
+                continue
+            placed[i] = True
+            order.append(i)
+            for j in succ[i]:
+                indegree[j] -= 1
+                if indegree[j] == 0 and not placed[j]:
+                    ready.append(j)
+        self._order = order
+        self._readers = [tuple(r) for r in readers]
+        self._pending = bytearray(len(nodes))
+        self._all_pending = bytes(b"\x01" * len(nodes))
 
     # -- per-cycle phases ----------------------------------------------------------
 
-    def _fixpoint(self):
+    def _clear_channels(self):
         for channel in self._channels:
-            channel.state.clear()
+            state = channel.state
+            state.vp = None
+            state.sp = None
+            state.vm = None
+            state.sm = None
+            state.data = None
+            channel.events_cache = None
+
+    def _fixpoint_worklist(self):
+        # All channel logs are (re)assigned together at construction, so
+        # checking one detects a newer simulator having taken ownership.
+        if self._channels and self._channels[0].state.log is not self._log:
+            raise RuntimeError(
+                "netlist is now owned by a newer Simulator; this simulator "
+                "can no longer observe signal changes — construct a fresh "
+                "Simulator instead of reusing this one"
+            )
+        self._clear_channels()
+        log = self._log
+        log.clear()
+        pending = self._pending
+        pending[:] = self._all_pending
+        combs = self._combs
+        readers = self._readers
+        queue = deque(self._order)
+        profile = self.profile
+        evals = 0
+        while queue:
+            i = queue.popleft()
+            pending[i] = 0
+            combs[i]()
+            if profile:
+                self.comb_calls[i] += 1
+                evals += 1
+            if log:
+                for signal in log:
+                    for j in readers[signal]:
+                        if not pending[j]:
+                            pending[j] = 1
+                            queue.append(j)
+                log.clear()
+        if profile:
+            self.evals_per_cycle.append(evals)
+            self.sweeps_per_cycle.append(1)
+        self._check_resolved()
+
+    def _fixpoint_naive(self):
+        self._clear_channels()
+        profile = self.profile
+        sweeps = 0
         for _sweep in range(self.max_iterations):
+            sweeps += 1
             changed = False
-            for node in self._nodes:
-                changed |= bool(node.comb())
+            if profile:
+                for i, comb in enumerate(self._combs):
+                    changed |= bool(comb())
+                    self.comb_calls[i] += 1
+            else:
+                for comb in self._combs:
+                    changed |= bool(comb())
             if not changed:
                 break
+        if profile:
+            self.sweeps_per_cycle.append(sweeps)
+            self.evals_per_cycle.append(sweeps * len(self._nodes))
+        self._check_resolved()
+
+    def _check_resolved(self):
         unresolved = []
         for channel in self._channels:
-            if not channel.state.resolved():
+            state = channel.state
+            if not state.resolved():
                 unresolved.extend(
-                    f"{channel.name}.{sig}" for sig in channel.state.unresolved_signals()
+                    f"{channel.name}.{sig}" for sig in state.unresolved_signals()
                 )
-            elif channel.state.vp and channel.state.data is None:
+            elif state.vp and state.data is None:
                 unresolved.append(f"{channel.name}.data")
         if unresolved:
             raise CombinationalLoopError(unresolved, cycle=self.cycle)
 
+    def _resolve_events(self):
+        """Resolve every channel's events exactly once and cache them, so
+        stats, monitors, transfer logs and ``tick`` handlers share one
+        computation per cycle."""
+        events = {}
+        for channel in self._channels:
+            events[channel.name] = channel.resolve_events()
+        return events
+
     def step(self):
         """Advance one clock cycle; returns the cycle index just completed."""
-        for node in self._nodes:
-            node.pre_cycle()
+        for pre_cycle in self._pre_cycles:
+            pre_cycle()
         self._fixpoint()
         if self.monitor is not None:
             self.monitor.observe(self.cycle)
-        self.stats.observe(self.cycle)
+        events = self._resolve_events()
+        self.stats.observe(self.cycle, events)
         for observer in self.observers:
             observer.observe(self.cycle, self.netlist)
-        for node in self._nodes:
-            node.tick()
+        for tick in self._ticks:
+            tick()
         done = self.cycle
         self.cycle += 1
         return done
@@ -107,25 +336,50 @@ class Simulator:
 
     def choice_nodes(self):
         """Nodes with a nondeterministic choice this cycle."""
-        return [node for node in self._nodes if node.choice_space() > 1]
+        return [node for node in self._choosers if node.choice_space() > 1]
 
     def step_with_choices(self, choices):
         """One cycle with explicit environment choices.
 
         ``choices`` maps node name -> choice index; unnamed choice nodes get
-        choice 0.  Returns the list of per-channel events (for property
-        evaluation by the model checker).
+        choice 0.  Returns the per-channel events dict (resolved once and
+        shared with the channels' per-cycle cache) for property evaluation
+        by the model checker.
         """
-        for node in self._nodes:
+        for node in self._choosers:
             if node.choice_space() > 1:
                 node.set_choice(choices.get(node.name, 0))
-        for node in self._nodes:
-            node.pre_cycle()
+        for pre_cycle in self._pre_cycles:
+            pre_cycle()
         self._fixpoint()
         if self.monitor is not None:
             self.monitor.observe(self.cycle)
-        events = {channel.name: channel.events() for channel in self._channels}
-        for node in self._nodes:
-            node.tick()
+        events = self._resolve_events()
+        for tick in self._ticks:
+            tick()
         self.cycle += 1
         return events
+
+    # -- profiling ---------------------------------------------------------------------
+
+    def profile_report(self):
+        """Aggregate the recorded counters (requires ``profile=True``);
+        returns a :class:`repro.sim.profile.ProfileReport`."""
+        if not self.profile:
+            raise ValueError("Simulator was not constructed with profile=True")
+        from repro.sim.profile import ProfileReport
+
+        by_kind = {}
+        for node, calls in zip(self._nodes, self.comb_calls):
+            entry = by_kind.setdefault(node.kind, [0, 0])
+            entry[0] += calls
+            entry[1] += 1
+        return ProfileReport(
+            engine=self.engine,
+            cycles=self.cycle,
+            n_nodes=len(self._nodes),
+            comb_calls_by_kind={k: tuple(v) for k, v in sorted(by_kind.items())},
+            total_comb_calls=sum(self.comb_calls),
+            evals_per_cycle=list(self.evals_per_cycle),
+            sweeps_per_cycle=list(self.sweeps_per_cycle),
+        )

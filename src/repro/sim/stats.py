@@ -16,14 +16,20 @@ class ChannelStats:
         self.stalls = {name: 0 for name in netlist.channels}
         self.idles = {name: 0 for name in netlist.channels}
 
-    def observe(self, cycle):
+    def observe(self, cycle, events=None):
+        """Count one cycle's events.
+
+        ``events`` is the engine's per-cycle ``{channel: ChannelEvents}``
+        dict; when omitted (standalone use) each channel's cached events
+        are used, falling back to computing them from the signals.
+        """
         for name, channel in self.netlist.channels.items():
-            events = channel.events()
-            if events.forward:
+            ev = events[name] if events is not None else channel.events()
+            if ev.forward:
                 self.transfers[name] += 1
-            elif events.cancel:
+            elif ev.cancel:
                 self.cancels[name] += 1
-            elif events.backward:
+            elif ev.backward:
                 self.backwards[name] += 1
             elif channel.state.vp and channel.state.sp:
                 self.stalls[name] += 1

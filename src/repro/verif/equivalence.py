@@ -18,16 +18,18 @@ from repro.sim.engine import Simulator
 from repro.sim.stats import TransferLog
 
 
-def transfer_streams(netlist, channels, cycles, check_protocol=True):
+def transfer_streams(netlist, channels, cycles, check_protocol=True, engine=None):
     """Run a clone of ``netlist`` and collect transfer streams."""
     working = netlist.clone()
     log = TransferLog(list(channels))
-    Simulator(working, observers=[log], check_protocol=check_protocol).run(cycles)
+    Simulator(working, observers=[log], check_protocol=check_protocol,
+              engine=engine).run(cycles)
     return {name: log.values(name) for name in channels}
 
 
 def assert_transfer_equivalent(net_a, net_b, channel_map, cycles=500,
-                               min_transfers=1, check_protocol=True):
+                               min_transfers=1, check_protocol=True,
+                               engine=None):
     """Assert transfer equivalence of two designs.
 
     ``channel_map``: iterable of ``(channel_in_a, channel_in_b)`` pairs to
@@ -37,9 +39,9 @@ def assert_transfer_equivalent(net_a, net_b, channel_map, cycles=500,
     """
     pairs = list(channel_map)
     streams_a = transfer_streams(net_a, [a for a, _b in pairs], cycles,
-                                 check_protocol=check_protocol)
+                                 check_protocol=check_protocol, engine=engine)
     streams_b = transfer_streams(net_b, [b for _a, b in pairs], cycles,
-                                 check_protocol=check_protocol)
+                                 check_protocol=check_protocol, engine=engine)
     for ch_a, ch_b in pairs:
         sa, sb = streams_a[ch_a], streams_b[ch_b]
         n = min(len(sa), len(sb))

@@ -55,16 +55,22 @@ class ExplorationResult:
 
 
 class StateExplorer:
-    """Breadth-first reachability over environment/scheduler choices."""
+    """Breadth-first reachability over environment/scheduler choices.
 
-    def __init__(self, netlist, max_states=20000, check_protocol=True):
+    ``engine`` selects the fix-point engine (worklist by default): the
+    explorer pays one fix-point per explored transition, so the worklist
+    engine speeds up whole model-checking runs.
+    """
+
+    def __init__(self, netlist, max_states=20000, check_protocol=True,
+                 engine=None):
         self.netlist = netlist
         self.max_states = max_states
         self.check_protocol = check_protocol
         # The simulator's own online monitor is disabled: exploration jumps
         # between branches, so two-cycle properties are checked explicitly
         # against the state-embedded previous signals.
-        self.sim = Simulator(netlist, check_protocol=False)
+        self.sim = Simulator(netlist, check_protocol=False, engine=engine)
         self.retry_exempt = retry_exempt_channels(netlist)
 
     def _signals(self):
@@ -136,9 +142,9 @@ class StateExplorer:
         return result
 
 
-def explore_or_raise(netlist, max_states=20000):
+def explore_or_raise(netlist, max_states=20000, engine=None):
     """Convenience wrapper: explore and raise on any protocol violation."""
-    result = StateExplorer(netlist, max_states=max_states).explore()
+    result = StateExplorer(netlist, max_states=max_states, engine=engine).explore()
     if result.violations:
         raise VerificationError(
             f"{len(result.violations)} protocol violation(s); first: "

@@ -44,6 +44,29 @@ class TestCli:
         assert "OK" in out
         assert "starves as predicted" in out
 
+    def test_profile(self, capsys):
+        assert main(["profile", "--design", "fig1d", "--cycles", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "engine=worklist" in out
+        assert "comb() calls" in out
+
+    def test_engine_flag_selects_naive(self, capsys):
+        from repro.sim.engine import get_default_engine
+
+        assert main(["--engine", "naive", "profile", "--cycles", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "engine=naive" in out
+        assert "sweeps per cycle" in out
+        # the flag must not leak into the process-wide default
+        assert get_default_engine() == "worklist"
+
+    def test_engine_flag_table1_unchanged(self, capsys):
+        """The naive engine reproduces Table 1 identically."""
+        assert main(["--engine", "naive", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "A - C - E F F" in " ".join(out.split())
+        assert "mispredictions=2" in out
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])

@@ -142,3 +142,126 @@ class TestValidationOnConstruction:
         net.add(ElasticBuffer("eb"))
         with pytest.raises(Exception):
             Simulator(net)
+
+
+class TestEngineSelection:
+    def _pipeline(self):
+        net = Netlist("p")
+        net.add(ListSource("src", [1, 2, 3]))
+        net.add(ElasticBuffer("eb"))
+        net.add(Sink("snk"))
+        net.connect("src.o", "eb.i", name="in")
+        net.connect("eb.o", "snk.i", name="out")
+        return net
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(self._pipeline(), engine="magic")
+
+    def test_default_engine_switchable(self):
+        from repro.sim.engine import get_default_engine, set_default_engine
+
+        assert get_default_engine() == "worklist"
+        set_default_engine("naive")
+        try:
+            assert Simulator(self._pipeline()).engine == "naive"
+            with pytest.raises(ValueError):
+                set_default_engine("magic")
+        finally:
+            set_default_engine("worklist")
+
+    @pytest.mark.parametrize("engine", ["worklist", "naive"])
+    def test_both_engines_simulate(self, engine):
+        net = self._pipeline()
+        sim = Simulator(net, engine=engine).run(10)
+        assert sink_values(net) == [1, 2, 3]
+        assert sim.stats.transfers["out"] == 3
+
+    def test_stale_simulator_detected(self):
+        """A netlist has one owning simulator: constructing a second one
+        re-registers the change logs, so stepping the first must raise
+        instead of silently missing change events."""
+        net = self._pipeline()
+        stale = Simulator(net)
+        Simulator(net, engine="naive")
+        with pytest.raises(RuntimeError, match="newer Simulator"):
+            stale.step()
+
+
+class TestEventCache:
+    def test_events_resolved_once_per_cycle(self):
+        """After a step every channel carries its cached events; repeated
+        ``events()`` calls return the same object (no recomputation)."""
+        net = Netlist("p")
+        net.add(ListSource("src", [1]))
+        net.add(ElasticBuffer("eb"))
+        net.add(Sink("snk"))
+        net.connect("src.o", "eb.i", name="in")
+        net.connect("eb.o", "snk.i", name="out")
+        sim = Simulator(net)
+        sim.step()
+        channel = net.channels["in"]
+        assert channel.events_cache is not None
+        assert channel.events() is channel.events()
+        assert channel.events() is channel.events_cache
+
+    def test_cache_invalidated_each_cycle(self):
+        net = Netlist("p")
+        net.add(ListSource("src", [1, 2]))
+        net.add(ElasticBuffer("eb"))
+        net.add(Sink("snk"))
+        net.connect("src.o", "eb.i", name="in")
+        net.connect("eb.o", "snk.i", name="out")
+        sim = Simulator(net)
+        sim.step()
+        first = net.channels["in"].events()
+        sim.step()
+        assert net.channels["in"].events() is not first
+
+
+class TestProfiling:
+    @pytest.mark.parametrize("engine", ["worklist", "naive"])
+    def test_profile_counts(self, engine):
+        from repro.sim.profile import format_profile, profile_run
+
+        net = Netlist("p")
+        net.add(ListSource("src", list(range(5))))
+        net.add(ElasticBuffer("eb"))
+        net.add(Sink("snk"))
+        net.connect("src.o", "eb.i", name="in")
+        net.connect("eb.o", "snk.i", name="out")
+        report = profile_run(net, cycles=10, engine=engine)
+        assert report.engine == engine
+        assert report.cycles == 10
+        assert report.total_comb_calls >= 3 * 10   # every node, every cycle
+        assert set(report.comb_calls_by_kind) == {"source", "eb", "sink"}
+        text = format_profile(report)
+        assert "comb() calls" in text and "histogram" in text
+
+    def test_worklist_evaluates_each_node_once_on_registered_pipeline(self):
+        """Levelization at work: an all-registered pipeline needs exactly
+        one evaluation per node per cycle (the naive engine needs two full
+        sweeps to detect quiescence)."""
+        from repro.sim.profile import profile_run
+
+        net = Netlist("p")
+        net.add(ListSource("src", list(range(5))))
+        net.add(ElasticBuffer("eb"))
+        net.add(Sink("snk"))
+        net.connect("src.o", "eb.i", name="in")
+        net.connect("eb.o", "snk.i", name="out")
+        report = profile_run(net, cycles=10, engine="worklist")
+        assert report.total_comb_calls == 3 * 10
+        naive = profile_run(net, cycles=10, engine="naive")
+        assert naive.total_comb_calls == 2 * 3 * 10
+
+    def test_profile_requires_flag(self):
+        net = Netlist("p")
+        net.add(ListSource("src", [1]))
+        net.add(ElasticBuffer("eb"))
+        net.add(Sink("snk"))
+        net.connect("src.o", "eb.i", name="in")
+        net.connect("eb.o", "snk.i", name="out")
+        sim = Simulator(net)
+        with pytest.raises(ValueError):
+            sim.profile_report()

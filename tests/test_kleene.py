@@ -82,6 +82,39 @@ class TestKnownAsBool:
             as_bool(None, "sig")
 
 
+class TestBinaryTruthTables:
+    """Exhaustive 3x3 truth tables for the 2-argument fast paths — pinned
+    so the early-exit special cases can never drift from strong Kleene."""
+
+    KAND_TABLE = {
+        (True, True): True, (True, False): False, (True, None): None,
+        (False, True): False, (False, False): False, (False, None): False,
+        (None, True): None, (None, False): False, (None, None): None,
+    }
+
+    KOR_TABLE = {
+        (True, True): True, (True, False): True, (True, None): True,
+        (False, True): True, (False, False): False, (False, None): None,
+        (None, True): True, (None, False): None, (None, None): None,
+    }
+
+    @pytest.mark.parametrize("a", [True, False, None])
+    @pytest.mark.parametrize("b", [True, False, None])
+    def test_kand_two_args(self, a, b):
+        assert kand(a, b) is self.KAND_TABLE[(a, b)]
+
+    @pytest.mark.parametrize("a", [True, False, None])
+    @pytest.mark.parametrize("b", [True, False, None])
+    def test_kor_two_args(self, a, b):
+        assert kor(a, b) is self.KOR_TABLE[(a, b)]
+
+    @given(a=TRI, b=TRI)
+    def test_two_arg_matches_general_path(self, a, b):
+        """The fast path must agree with the n-ary fold it bypasses."""
+        assert kand(a, b) is kand(a, b, True)
+        assert kor(a, b) is kor(a, b, False)
+
+
 class TestMonotonicity:
     """Refining an unknown input must never flip a resolved output —
     the property the fix-point simulator relies on."""
