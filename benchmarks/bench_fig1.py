@@ -3,7 +3,9 @@
 Regenerates the Section 2 comparison: cycle time, throughput, area and
 effective cycle time for the non-speculative loop, bubble insertion,
 Shannon decomposition and speculation, plus a prediction-accuracy sweep
-for the speculative design.
+for the speculative design.  Both parts run through ``repro.perf.sweep``
+(serially — the grid is small; the sharded path is exercised by
+``bench_sweep.py``).
 
 Headline shape asserted:
   * bubble insertion halves throughput ("no real gain");
@@ -12,55 +14,34 @@ Headline shape asserted:
   * speculation's throughput degrades as 1/(1 + misprediction rate).
 """
 
-import random
-
 import pytest
 from conftest import write_result
 
-from repro.core.scheduler import RepairScheduler, TwoBitScheduler
-from repro.netlist import patterns
-from repro.perf import measure_throughput, performance_report
+from repro.perf.presets import fig1_accuracy_spec, fig1_spec
 from repro.perf.report import format_report_table
-from repro.perf.timing import cycle_time
-
-
-def biased_sel(bias, seed=0):
-    rng = random.Random(seed)
-    cache = {}
-
-    def fn(generation):
-        if generation not in cache:
-            cache[generation] = 0 if rng.random() < bias else 1
-        return cache[generation]
-
-    return fn
+from repro.perf.sweep import run_sweep
 
 
 def build_reports():
-    sel = biased_sel(0.8, seed=1)
-    reports = []
-    for label, make in [("fig1a_non_speculative", patterns.fig1a),
-                        ("fig1b_bubble", patterns.fig1b),
-                        ("fig1c_shannon", patterns.fig1c)]:
-        net, _names = make(sel)
-        reports.append(performance_report(net, name=label))
-    net, names = patterns.fig1d(sel, scheduler=TwoBitScheduler())
-    reports.append(performance_report(net, sim_channel=names["ebin"],
-                                      cycles=1500, warmup=100,
-                                      name="fig1d_speculation"))
-    return reports
+    spec = fig1_spec(labels={
+        "fig1a": "fig1a_non_speculative",
+        "fig1b": "fig1b_bubble",
+        "fig1c": "fig1c_shannon",
+        "fig1d": "fig1d_speculation",
+    })
+    return run_sweep(spec).reports
 
 
 def accuracy_sweep():
+    result = run_sweep(fig1_accuracy_spec())
     rows = ["bias  throughput  effective"]
     points = []
-    for bias in (0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0):
-        net, names = patterns.fig1d(biased_sel(bias, seed=2),
-                                    scheduler=RepairScheduler(2))
-        period = cycle_time(net)
-        theta = measure_throughput(net, names["ebin"], cycles=1500,
-                                   warmup=100).throughput
-        rows.append(f"{bias:4.2f}  {theta:10.3f}  {period / theta:9.2f}")
+    for row in result.rows:
+        bias = row["params"]["bias"]
+        theta = row["throughput"]
+        effective = row["effective_cycle_time"]
+        shown = "n/a" if effective is None else f"{effective:.2f}"
+        rows.append(f"{bias:4.2f}  {theta:10.3f}  {shown:>9}")
         points.append((bias, theta))
     return rows, points
 

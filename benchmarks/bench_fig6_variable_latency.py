@@ -3,49 +3,51 @@
 Regenerates the stalling-vs-speculative comparison: identical throughput
 (one lost cycle per approximation error), ~9% effective-cycle-time
 improvement from pulling F_err off the clock-gating path, ~12% area
-overhead from the recovery EBs — plus an error-rate sweep.
+overhead from the recovery EBs — plus an error-rate sweep.  Both the
+head-to-head and the sweep run through ``repro.perf.sweep``.
 """
 
 import pytest
 from conftest import write_result
 
-from repro.datapath.alu import Alu
-from repro.netlist.varlat import (
-    variable_latency_speculative,
-    variable_latency_stalling,
-)
-from repro.perf import performance_report
+from repro.perf.presets import fig6_point, fig6_spec
 from repro.perf.report import format_report_table
+from repro.perf.sweep import SweepSpec, run_sweep
 
 
-def head_to_head(alu):
-    net_a, _ = variable_latency_stalling(alu, seed=42)
-    net_b, _ = variable_latency_speculative(alu, seed=42)
-    ra = performance_report(net_a, sim_channel="out", cycles=2000,
-                            warmup=100, name="fig6a_stalling")
-    rb = performance_report(net_b, sim_channel="out", cycles=2000,
-                            warmup=100, name="fig6b_speculative")
+def head_to_head():
+    spec = SweepSpec(
+        name="fig6",
+        factory=fig6_point,
+        points=[
+            {"design": "stalling", "label": "fig6a_stalling"},
+            {"design": "speculative", "label": "fig6b_speculative"},
+        ],
+        base={"seed": 42, "arith_fraction": 0.7, "window": 3, "width": 8},
+        channel="out",
+        cycles=2000,
+        warmup=100,
+    )
+    ra, rb = run_sweep(spec).reports
     return ra, rb
 
 
-def error_sweep(alu):
+def error_sweep():
+    result = run_sweep(fig6_spec(fracs=(0.0, 0.25, 0.5, 0.75, 1.0),
+                                 windows=(3,), seed=3, cycles=1000,
+                                 warmup=100))
+    theta = {(row["params"]["design"], row["params"]["arith_fraction"]):
+             row["throughput"] for row in result.rows}
     rows = ["arith%  stalling  speculative"]
     for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
-        net_a, _ = variable_latency_stalling(alu, seed=3, arith_fraction=frac)
-        net_b, _ = variable_latency_speculative(alu, seed=3,
-                                                arith_fraction=frac)
-        ta = performance_report(net_a, sim_channel="out", cycles=1000,
-                                warmup=100).throughput
-        tb = performance_report(net_b, sim_channel="out", cycles=1000,
-                                warmup=100).throughput
-        rows.append(f"{frac * 100:5.0f}%  {ta:8.3f}  {tb:11.3f}")
+        rows.append(f"{frac * 100:5.0f}%  {theta['stalling', frac]:8.3f}  "
+                    f"{theta['speculative', frac]:11.3f}")
     return rows
 
 
 def test_fig6_variable_latency(benchmark):
-    alu = Alu(width=8, window=3)
-    ra, rb = benchmark(head_to_head, alu)
-    sweep = error_sweep(alu)
+    ra, rb = benchmark(head_to_head)
+    sweep = error_sweep()
     improvement = (ra.effective_cycle_time / rb.effective_cycle_time - 1) * 100
     overhead = (rb.area / ra.area - 1) * 100
     write_result(

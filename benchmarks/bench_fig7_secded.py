@@ -3,47 +3,50 @@
 Regenerates the resilience comparison: error-free the speculative stage
 matches the unprotected adder's throughput ("no performance penalty during
 the error-free behaviors"), loses exactly one cycle per detected error,
-and pays its area mainly in recovery EBs (paper: 36% on the stage).
+and pays its area mainly in recovery EBs (paper: 36% on the stage).  The
+report grids run through ``repro.perf.sweep``; the cycle-accounting check
+still drives the simulator directly.
 """
 
 import pytest
 from conftest import write_result
 
 from repro.datapath.secded import Secded
-from repro.netlist.resilient import (
-    encoded_op_stream,
-    plain_adder,
-    resilient_nonspeculative,
-    resilient_speculative,
-)
-from repro.perf import performance_report
+from repro.netlist.resilient import encoded_op_stream, resilient_speculative
 from repro.perf.area import total_area
+from repro.perf.presets import fig7_point, fig7_spec
 from repro.perf.report import format_report_table
+from repro.perf.sweep import SweepSpec, run_sweep
 from repro.sim.engine import Simulator
 
 
-def error_free_reports(code):
-    reports = []
-    for label, maker in [("unprotected", plain_adder),
-                         ("fig7a_nonspeculative", resilient_nonspeculative),
-                         ("fig7b_speculative", resilient_speculative)]:
-        net, _names = maker(code, error_rate=0.0, seed=1)
-        reports.append(performance_report(net, sim_channel="out", cycles=1000,
-                                          warmup=50, name=label))
-    return reports
+def error_free_reports():
+    spec = SweepSpec(
+        name="fig7",
+        factory=fig7_point,
+        points=[
+            {"design": "unprotected", "label": "unprotected"},
+            {"design": "fig7a", "label": "fig7a_nonspeculative"},
+            {"design": "fig7b", "label": "fig7b_speculative"},
+        ],
+        base={"error_rate": 0.0, "seed": 1, "width": 64},
+        channel="out",
+        cycles=1000,
+        warmup=50,
+    )
+    return run_sweep(spec).reports
 
 
-def error_sweep(code):
+def error_sweep():
+    rates = (0.0, 0.02, 0.05, 0.1, 0.2, 0.4)
+    result = run_sweep(fig7_spec(rates=rates, seed=3, cycles=800, warmup=50))
+    theta = {(row["params"]["design"], row["params"]["error_rate"]):
+             row["throughput"] for row in result.rows}
     rows = ["rate  fig7a  fig7b  1/(1+2r-r^2)"]
-    for rate in (0.0, 0.02, 0.05, 0.1, 0.2, 0.4):
-        net_a, _ = resilient_nonspeculative(code, error_rate=rate, seed=3)
-        net_b, _ = resilient_speculative(code, error_rate=rate, seed=3)
-        ta = performance_report(net_a, sim_channel="out", cycles=800,
-                                warmup=50).throughput
-        tb = performance_report(net_b, sim_channel="out", cycles=800,
-                                warmup=50).throughput
+    for rate in rates:
         p_op = 1 - (1 - rate) ** 2          # either operand corrupted
-        rows.append(f"{rate:4.2f}  {ta:5.3f}  {tb:5.3f}  {1 / (1 + p_op):11.3f}")
+        rows.append(f"{rate:4.2f}  {theta['fig7a', rate]:5.3f}  "
+                    f"{theta['fig7b', rate]:5.3f}  {1 / (1 + p_op):11.3f}")
     return rows
 
 
@@ -63,11 +66,11 @@ def one_cycle_per_error(code, rate=0.15, cycles=1000):
 
 def test_fig7_secded(benchmark):
     code = Secded(64)
-    reports = benchmark(error_free_reports, code)
-    sweep = error_sweep(code)
+    reports = benchmark(error_free_reports)
+    sweep = error_sweep()
     outputs, errors, cycles = one_cycle_per_error(code)
-    net_a, _ = resilient_nonspeculative(code)
-    net_b, names = resilient_speculative(code)
+    net_a, _ = fig7_point("fig7a")
+    net_b, _ = fig7_point("fig7b")
     overhead = (total_area(net_b) / total_area(net_a) - 1) * 100
     write_result(
         "fig7_secded.txt",

@@ -1,0 +1,66 @@
+"""E9 — sharded design-space sweeps (``repro.perf.sweep``).
+
+Runs the 24-configuration fig6-style grid (stalling vs speculative x
+arithmetic fraction x carry-window width) twice — serially and sharded
+over a multiprocessing spawn pool — asserts the merged reports are
+byte-identical, and records the serial-vs-sharded wall clock in
+``results/BENCH_sweep.json`` (same machine-readable trajectory style as
+``BENCH_engine.json``).
+
+The wall-clock speedup is only *asserted* when the machine actually has
+spare cores: on a single-CPU runner sharding cannot beat serial (spawn
+overhead with zero parallelism), so there the numbers are recorded for
+the trajectory but not gated.
+"""
+
+import os
+
+from conftest import write_json, write_result
+
+from repro.perf.presets import fig6_spec
+from repro.perf.sweep import run_sweep
+
+N_WORKERS = 4
+CYCLES = 400
+
+
+def _usable_cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:          # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_sweep_serial_vs_sharded():
+    spec = fig6_spec(cycles=CYCLES)
+    serial = run_sweep(spec, n_workers=1)
+    sharded = run_sweep(spec, n_workers=N_WORKERS)
+    # The acceptance bar: the merged report is independent of sharding.
+    assert len(serial.rows) >= 24
+    assert sharded.to_json() == serial.to_json()
+    speedup = serial.elapsed_seconds / sharded.elapsed_seconds
+    cpus = _usable_cpus()
+    payload = {
+        "wall_seconds": {
+            "serial": serial.elapsed_seconds,
+            "sharded": sharded.elapsed_seconds,
+        },
+        "speedup": {"fig6_grid": speedup},
+        "n_configs": len(serial.rows),
+        "n_workers": N_WORKERS,
+        "cycles_per_config": CYCLES,
+        "usable_cpus": cpus,
+        "engine": serial.engine,
+    }
+    write_json("BENCH_sweep.json", payload)
+    write_result(
+        "sweep_comparison.txt",
+        f"fig6 grid: {len(serial.rows)} configurations x {CYCLES} cycles\n"
+        f"  serial:  {serial.elapsed_seconds:6.2f}s\n"
+        f"  sharded: {sharded.elapsed_seconds:6.2f}s "
+        f"({N_WORKERS} workers, {cpus} usable cpu(s))\n"
+        f"  speedup: {speedup:.2f}x\n"
+        f"  merged reports byte-identical: True",
+    )
+    if cpus >= 2:
+        assert speedup > 1.0

@@ -2,13 +2,15 @@
 """Design-space exploration with the Section 5 toolkit.
 
 Drives the scripted Session (transformations + undo/redo + reports),
-verifies each design point with the built-in model checker, and exports
-Verilog / SMV / dot artifacts — the full workflow of the paper's
-"interactive shell".
+sweeps a fig6-style parameter grid sharded over multiprocessing workers
+(``repro.perf.sweep``), verifies the speculative composition with the
+built-in model checker, and exports Verilog / SMV / dot artifacts — the
+full workflow of the paper's "interactive shell".
 
-Run:  python examples/design_space_exploration.py [output_dir]
+Run:  python examples/design_space_exploration.py [output_dir] [n_workers]
 """
 
+import os
 import sys
 
 from repro import patterns
@@ -19,7 +21,8 @@ from repro.elastic.environment import NondetSink, NondetSource
 from repro.netlist.graph import Netlist
 from repro.core.shared import SharedModule
 from repro.elastic.eemux import EarlyEvalMux
-from repro.perf import measure_throughput
+from repro.perf import measure_throughput, run_sweep
+from repro.perf.presets import fig6_spec
 from repro.perf.timing import cycle_time
 from repro.transform.session import Session
 from repro.verif.deadlock import find_deadlocks
@@ -61,6 +64,17 @@ def explore():
     report("after speculation recipe")
     print(f"  history: {session.log}\n")
     return session
+
+
+def sweep_design_space(n_workers):
+    """Shard a stalling-vs-speculative grid over worker processes and
+    merge the per-configuration reports (identical to a serial run)."""
+    print(f"=== sharded design-space sweep ({n_workers} worker(s)) ===")
+    spec = fig6_spec(fracs=(0.0, 0.5, 1.0), windows=(2, 3), cycles=300)
+    result = run_sweep(spec, n_workers=n_workers)
+    print(result.table())
+    print(f"  {len(result.rows)} configurations in "
+          f"{result.elapsed_seconds:.2f}s (engine={result.engine})\n")
 
 
 class BinarySelectSource(NondetSource):
@@ -131,6 +145,9 @@ def export(session, outdir):
 
 if __name__ == "__main__":
     outdir = sys.argv[1] if len(sys.argv) > 1 else "build_artifacts"
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else min(
+        2, os.cpu_count() or 1)
     session = explore()
+    sweep_design_space(workers)
     verify(session)
     export(session, outdir)

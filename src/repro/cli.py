@@ -9,6 +9,7 @@ Usage (after installation)::
     python -m repro verify                     # model-check the controllers
     python -m repro export DIR [--design fig1d]  # Verilog/SMV/dot artifacts
     python -m repro profile [--design fig1d]   # fix-point engine profile
+    python -m repro sweep [--grid fig6] [--workers 4]  # sharded sweeps
 
 The global ``--engine {worklist,naive}`` option (before the subcommand)
 selects the fix-point engine for every simulation and model-checking run;
@@ -244,6 +245,29 @@ def _cmd_profile(args):
     return 0
 
 
+def _cmd_sweep(args):
+    from repro.perf.presets import PRESET_SWEEPS
+    from repro.perf.sweep import run_sweep
+
+    kwargs = {}
+    if args.cycles is not None:
+        kwargs["cycles"] = args.cycles
+    spec = PRESET_SWEEPS[args.grid](**kwargs)
+    # run_sweep resolves the engine (the --engine process default) in this
+    # process and ships it inside every worker payload — spawn workers do
+    # not inherit set_default_engine().
+    result = run_sweep(spec, n_workers=args.workers)
+    print(result.table())
+    print(f"\n{len(result.rows)} configurations in "
+          f"{result.elapsed_seconds:.2f}s on {args.workers} worker(s) "
+          f"(engine={result.engine})")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(result.to_json() + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_export(args):
     from repro.backend.smv import to_smv
     from repro.backend.verilog import to_verilog
@@ -301,6 +325,23 @@ def build_parser():
     p.add_argument("outdir")
     p.add_argument("--design", choices=sorted(_DESIGNS), default="fig1d")
     p.set_defaults(fn=_cmd_export)
+
+    p = sub.add_parser(
+        "sweep",
+        help="design-space sweep sharded over multiprocessing workers",
+    )
+    p.add_argument("--grid",
+                   choices=["fig1", "fig1-accuracy", "fig6", "fig7"],
+                   default="fig6",
+                   help="preset parameter grid (default: the 24-point fig6 "
+                        "stalling-vs-speculative grid)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes; 1 = serial in-process")
+    p.add_argument("--cycles", type=int, default=None,
+                   help="override simulated cycles per configuration")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the merged machine-readable report")
+    p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser(
         "profile", help="per-node-kind comb() call counts and sweep histograms"

@@ -7,6 +7,7 @@ from repro.perf.mcr import marked_graph_throughput, min_cycle_ratio
 from repro.perf.throughput import measure_throughput, ThroughputResult
 from repro.perf.area import total_area, area_breakdown
 from repro.perf.report import performance_report, PerfReport
+from repro.perf.sweep import SweepSpec, SweepResult, run_sweep
 
 __all__ = [
     "cycle_time",
@@ -20,4 +21,7 @@ __all__ = [
     "area_breakdown",
     "performance_report",
     "PerfReport",
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
 ]

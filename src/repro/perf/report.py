@@ -73,7 +73,10 @@ def performance_report(netlist, tech=None, sim_channel=None, cycles=2000,
         except NetlistError:
             report.throughput = None
             report.throughput_source = "none"
-    if report.throughput:
+    # A measured throughput of exactly 0.0 is real data (a deadlocked
+    # design point), distinct from "no data" (None): keep both out of the
+    # division, but never conflate them in the report fields above.
+    if report.throughput is not None and report.throughput > 0:
         report.effective_cycle_time = report.cycle_time / report.throughput
     return report
 
@@ -83,7 +86,7 @@ def format_report_table(reports):
     headers = ["design", "area", "cycle_time", "throughput", "effective"]
     rows = [r.row() for r in reports]
     widths = {
-        h: max(len(h), *(len(str(row[h])) for row in rows)) for h in headers
+        h: max([len(h)] + [len(str(row[h])) for row in rows]) for h in headers
     }
     lines = ["  ".join(h.ljust(widths[h]) for h in headers)]
     lines.append("  ".join("-" * widths[h] for h in headers))

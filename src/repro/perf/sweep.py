@@ -1,0 +1,307 @@
+"""Sharded design-space sweeps.
+
+The Section 5 toolkit exists to compare many design points — stalling vs
+speculative, varying scheduler / buffer / error-rate parameters.  Each
+configuration is an independent netlist build plus a few thousand simulated
+cycles, so a sweep is embarrassingly parallel across configurations.  This
+module provides the declarative spec and the sharded runner:
+
+* :class:`SweepSpec` — a netlist factory plus a parameter grid (and/or an
+  explicit point list), a measurement channel, and cycle/warmup counts.
+  ``expand()`` turns it into a deterministic, order-stable configuration
+  list.
+* :func:`run_sweep` — runs every configuration through
+  :func:`~repro.perf.report.performance_report`, either in-process
+  (``n_workers=1``) or sharded over a ``multiprocessing`` spawn pool, and
+  merges the per-configuration rows into a :class:`SweepResult`.  The
+  merged result is identical — byte-for-byte in its JSON rendering —
+  regardless of worker count.
+
+Engine propagation
+------------------
+
+The process-global fix-point engine selected by ``set_default_engine`` (the
+CLI ``--engine`` flag) is **not** inherited by spawn-start workers: a fresh
+interpreter re-imports :mod:`repro.sim.engine` and lands on the built-in
+default.  :func:`run_sweep` therefore resolves the engine *in the parent*
+(explicit argument, then ``spec.engine``, then the current process default)
+and ships it inside each worker payload; the worker installs it before
+building the netlist.  The serial path runs the exact same payload code so
+both paths agree on semantics, not just results.
+
+Picklability
+------------
+
+With ``n_workers > 1`` the factory crosses a process boundary, so it must
+be an importable module-level callable (pickled by reference) or a
+``"module:attribute"`` string.  Closures and lambdas only work in serial
+mode; put the randomness *inside* the factory, seeded by a grid parameter,
+as the factories in :mod:`repro.perf.presets` do.
+"""
+
+from __future__ import annotations
+
+import importlib
+import itertools
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+
+from repro.perf.report import PerfReport, format_report_table, performance_report
+from repro.sim.engine import ENGINES, get_default_engine, set_default_engine
+
+#: Reserved per-point keys interpreted by the runner, not the factory.
+#: ``sim_channel`` overrides the spec-level measurement channel for one
+#: configuration (``None`` forces the static marked-graph report);
+#: ``label`` overrides the auto-generated configuration name.
+RESERVED_KEYS = ("sim_channel", "label")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One expanded design point: resolved params, channel and label."""
+
+    index: int
+    name: str
+    params: dict
+    channel: str | None
+
+
+@dataclass
+class SweepSpec:
+    """Declarative description of a design-space sweep.
+
+    Parameters
+    ----------
+    name:
+        Sweep name; configuration labels are ``name[k=v ...]``.
+    factory:
+        ``factory(**params) -> netlist`` or ``(netlist, names)``; for
+        sharded runs it must be an importable module-level callable or a
+        ``"module:attribute"`` string.
+    grid:
+        Mapping ``param -> sequence of values``; expanded as the cartesian
+        product in key-insertion order (last key varies fastest).
+    points:
+        Explicit parameter dicts, for non-rectangular spaces; appended
+        before the grid product.  Points may use the reserved keys
+        ``sim_channel`` and ``label`` (see :data:`RESERVED_KEYS`).
+    base:
+        Fixed parameters merged under every configuration.
+    channel:
+        Measurement channel for :func:`performance_report` — a channel
+        name, or a key into the ``names`` dict returned by the factory.
+        ``None`` requests the static marked-graph report.
+    cycles / warmup:
+        Simulation length per configuration.
+    engine:
+        Fix-point engine for every configuration; ``None`` defers to
+        :func:`run_sweep`'s resolution (argument, then process default).
+    """
+
+    name: str
+    factory: object
+    grid: dict = field(default_factory=dict)
+    points: list = None
+    base: dict = field(default_factory=dict)
+    channel: str | None = None
+    cycles: int = 2000
+    warmup: int = 100
+    engine: str | None = None
+
+    def __post_init__(self):
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
+        if self.points is None and not self.grid:
+            raise ValueError("SweepSpec needs a grid and/or explicit points")
+
+    def expand(self):
+        """Deterministic, order-stable list of :class:`SweepConfig`."""
+        combos = [dict(point) for point in (self.points or [])]
+        if self.grid:
+            keys = list(self.grid)
+            for values in itertools.product(*(self.grid[k] for k in keys)):
+                combos.append(dict(zip(keys, values)))
+        configs = []
+        for index, combo in enumerate(combos):
+            channel = (
+                combo.pop("sim_channel") if "sim_channel" in combo
+                else self.channel
+            )
+            label = combo.pop("label", None)
+            if label is None:
+                varying = " ".join(f"{k}={v}" for k, v in combo.items())
+                label = f"{self.name}[{varying}]" if varying else self.name
+            params = {**self.base, **combo}
+            configs.append(SweepConfig(index, label, params, channel))
+        return configs
+
+
+def _resolve_factory(ref):
+    if callable(ref):
+        return ref
+    module_name, sep, attr = str(ref).partition(":")
+    if not sep:
+        raise ValueError(
+            f"factory {ref!r} is not callable and not a 'module:attribute' "
+            "reference"
+        )
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def _resolve_channel(netlist, names, channel):
+    if channel is None:
+        return None
+    if channel in netlist.channels:
+        return channel
+    mapped = names.get(channel) if names else None
+    if mapped in netlist.channels:
+        return mapped
+    raise ValueError(
+        f"sweep channel {channel!r} is neither a channel of "
+        f"{netlist.name!r} nor a names-key of its factory"
+    )
+
+
+def _run_payload(payload):
+    """Measure one configuration; runs in the worker *and* in serial mode.
+
+    Installs the payload's engine as the process default for the duration
+    of the run — this is what carries the parent's ``--engine`` choice
+    across the spawn boundary.
+    """
+    previous = get_default_engine()
+    if payload["engine"] is not None:
+        set_default_engine(payload["engine"])
+    try:
+        factory = _resolve_factory(payload["factory"])
+        made = factory(**payload["params"])
+        netlist, names = made if isinstance(made, tuple) else (made, {})
+        channel = _resolve_channel(netlist, names, payload["channel"])
+        report = performance_report(
+            netlist,
+            sim_channel=channel,
+            cycles=payload["cycles"],
+            warmup=payload["warmup"],
+            name=payload["name"],
+        )
+        return {
+            "index": payload["index"],
+            "design": report.name,
+            "params": payload["params"],
+            "area": report.area,
+            "cycle_time": report.cycle_time,
+            "throughput": report.throughput,
+            "effective_cycle_time": report.effective_cycle_time,
+            "throughput_source": report.throughput_source,
+            "engine": get_default_engine(),
+        }
+    finally:
+        set_default_engine(previous)
+
+
+@dataclass
+class SweepResult:
+    """Merged sweep outcome: one row per configuration, in spec order.
+
+    ``rows`` holds plain dicts (full-precision floats); ``reports``
+    reconstructs :class:`PerfReport` objects for table rendering.
+    ``to_payload()`` / ``to_json()`` contain only deterministic content —
+    wall-clock and worker count live on the result object itself, so the
+    JSON is byte-identical across worker counts.
+    """
+
+    spec: SweepSpec
+    engine: str
+    n_workers: int
+    rows: list
+    elapsed_seconds: float
+
+    @property
+    def reports(self):
+        return [
+            PerfReport(
+                name=row["design"],
+                area=row["area"],
+                cycle_time=row["cycle_time"],
+                throughput=row["throughput"],
+                effective_cycle_time=row["effective_cycle_time"],
+                throughput_source=row["throughput_source"],
+            )
+            for row in self.rows
+        ]
+
+    def by_design(self):
+        """``{label: row}`` lookup (labels are unique per expansion index
+        only if the spec makes them so; last one wins otherwise)."""
+        return {row["design"]: row for row in self.rows}
+
+    def table(self):
+        return format_report_table(self.reports)
+
+    def to_payload(self):
+        return {
+            "sweep": self.spec.name,
+            "engine": self.engine,
+            "channel": self.spec.channel,
+            "cycles": self.spec.cycles,
+            "warmup": self.spec.warmup,
+            "n_configs": len(self.rows),
+            "configs": self.rows,
+        }
+
+    def to_json(self):
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True)
+
+
+def run_sweep(spec, n_workers=1, engine=None):
+    """Expand ``spec`` and measure every configuration.
+
+    ``n_workers=1`` runs in-process; ``n_workers>1`` shards the
+    configurations over a ``multiprocessing`` spawn pool (spawn rather
+    than fork for determinism and portability — workers never inherit
+    mutable parent state, only the explicit payload).  Rows are merged in
+    expansion order regardless of completion order.
+
+    ``engine`` overrides the fix-point engine; otherwise ``spec.engine``,
+    then the parent's current default (``get_default_engine()``) is
+    resolved *here* and shipped to the workers — see the module docstring.
+    """
+    resolved_engine = engine or spec.engine or get_default_engine()
+    if resolved_engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {resolved_engine!r}; choose from {ENGINES}"
+        )
+    configs = spec.expand()
+    payloads = [
+        {
+            "index": config.index,
+            "name": config.name,
+            "factory": spec.factory,
+            "params": config.params,
+            "channel": config.channel,
+            "cycles": spec.cycles,
+            "warmup": spec.warmup,
+            "engine": resolved_engine,
+        }
+        for config in configs
+    ]
+    start = time.perf_counter()
+    if n_workers <= 1:
+        rows = [_run_payload(payload) for payload in payloads]
+    else:
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(min(n_workers, len(payloads))) as pool:
+            rows = pool.map(_run_payload, payloads)
+    elapsed = time.perf_counter() - start
+    rows.sort(key=lambda row: row["index"])
+    return SweepResult(
+        spec=spec,
+        engine=resolved_engine,
+        n_workers=n_workers,
+        rows=rows,
+        elapsed_seconds=elapsed,
+    )

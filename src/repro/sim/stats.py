@@ -44,7 +44,10 @@ class ChannelStats:
         return self.transfers[channel_name] / self.cycles
 
     def utilization(self, channel_name):
-        """Fraction of cycles the channel carried any event."""
+        """Fraction of cycles the channel moved information: forward
+        transfers, cancellations and backward (anti-token) movements.
+        Stall cycles (valid but stopped) and idle cycles count as
+        unutilized."""
         if self.cycles == 0:
             return 0.0
         busy = (
@@ -65,7 +68,9 @@ class ChannelStats:
                     "cancels": self.cancels[name],
                     "backwards": self.backwards[name],
                     "stalls": self.stalls[name],
+                    "idles": self.idles[name],
                     "throughput": self.throughput(name),
+                    "utilization": self.utilization(name),
                 }
             )
         return rows

@@ -44,6 +44,32 @@ class TestCli:
         assert "OK" in out
         assert "starves as predicted" in out
 
+    def test_sweep_serial(self, tmp_path, capsys):
+        out_json = tmp_path / "sweep.json"
+        assert main(["sweep", "--grid", "fig1", "--cycles", "60",
+                     "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "fig1[design=fig1d]" in out
+        assert "4 configurations" in out
+        assert out_json.exists()
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert payload["n_configs"] == 4
+        assert [c["throughput_source"] for c in payload["configs"]] == \
+            ["marked-graph"] * 3 + ["simulation"]
+
+    def test_sweep_workers_engine_flag(self, capsys):
+        """--engine must reach the spawn workers (they don't inherit the
+        parent's set_default_engine)."""
+        from repro.sim.engine import get_default_engine
+
+        assert main(["--engine", "naive", "sweep", "--grid", "fig1",
+                     "--cycles", "40", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "(engine=naive)" in out
+        assert get_default_engine() == "worklist"
+
     def test_profile(self, capsys):
         assert main(["profile", "--design", "fig1d", "--cycles", "50"]) == 0
         out = capsys.readouterr().out

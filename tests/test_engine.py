@@ -95,6 +95,25 @@ class TestStats:
         assert sim.stats.transfers["out"] == 3
         assert sim.stats.throughput("out") == pytest.approx(0.3)
 
+    def test_summary_includes_idles_and_accounts_every_cycle(self):
+        """Regression: ``summary()`` used to count idles but drop them
+        from the rows; each channel's categories must partition the run."""
+        net = Netlist("p")
+        net.add(ListSource("src", [1, 2, 3]))
+        net.add(ElasticBuffer("eb"))
+        net.add(Sink("snk"))
+        net.connect("src.o", "eb.i", name="in")
+        net.connect("eb.o", "snk.i", name="out")
+        sim = run(net, 10)
+        for row in sim.stats.summary():
+            assert "idles" in row and "utilization" in row
+            total = (row["transfers"] + row["cancels"] + row["backwards"]
+                     + row["stalls"] + row["idles"])
+            assert total == sim.stats.cycles
+        by_name = {row["channel"]: row for row in sim.stats.summary()}
+        assert by_name["out"]["idles"] == 7
+        assert by_name["out"]["utilization"] == pytest.approx(0.3)
+
     def test_transfer_log_records_stream(self):
         net = Netlist("p")
         net.add(ListSource("src", [5, 6]))

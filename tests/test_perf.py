@@ -194,3 +194,33 @@ class TestReport:
         fast = TechLibrary()
         fast.register_overhead = 0.0
         assert cycle_time(net, fast) < cycle_time(net, DEFAULT_TECH)
+
+    def test_empty_table_is_header_only(self):
+        """Regression: ``format_report_table([])`` raised TypeError."""
+        table = format_report_table([])
+        lines = table.splitlines()
+        assert len(lines) == 2
+        assert lines[0].split() == [
+            "design", "area", "cycle_time", "throughput", "effective"]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_zero_throughput_is_data_not_missing(self):
+        """Regression: a measured throughput of exactly 0.0 (a deadlocked
+        or starved design point) must stay distinguishable from an
+        unmeasured one."""
+        net = Netlist("starved")
+        net.add(ListSource("src", []))
+        net.add(ElasticBuffer("eb"))
+        net.add(Sink("snk"))
+        net.connect("src.o", "eb.i", name="a")
+        net.connect("eb.o", "snk.i", name="out")
+        starved = performance_report(net, sim_channel="out", cycles=60,
+                                     warmup=10)
+        assert starved.throughput == 0.0
+        assert starved.throughput_source == "simulation"
+        assert starved.effective_cycle_time is None     # guarded division
+        unmeasured = performance_report(patterns.fig1d(lambda g: 0)[0])
+        assert unmeasured.throughput is None
+        assert unmeasured.throughput_source == "none"
+        assert starved.row()["throughput"] == 0.0
+        assert unmeasured.row()["throughput"] is None
