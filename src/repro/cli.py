@@ -9,12 +9,15 @@ Usage (after installation)::
     python -m repro verify                     # model-check the controllers
     python -m repro export DIR [--design fig1d]  # Verilog/SMV/dot artifacts
     python -m repro profile [--design fig1d]   # fix-point engine profile
-    python -m repro sweep [--grid fig6] [--workers 4]  # sharded sweeps
+    python -m repro sweep [--grid fig6] [--workers 4] [--lanes 8]  # sharded sweeps
 
-The global ``--engine {worklist,naive}`` option (before the subcommand)
-selects the fix-point engine for every simulation and model-checking run;
-the event-driven worklist engine is the default, the dense-sweep naive
-engine is kept for cross-checking.
+The global ``--engine {worklist,naive,batch}`` option (before the
+subcommand) selects the fix-point engine for every simulation and
+model-checking run; the event-driven worklist engine is the default, the
+dense-sweep naive engine is kept for cross-checking, and the lane-parallel
+batch engine bit-packs N sweep configurations per fix-point pass
+(``sweep --lanes N`` groups same-topology configurations into batches
+inside each worker).
 
 Each subcommand prints the same tables the benchmarks regenerate, so the
 paper's results are reproducible without pytest.
@@ -255,12 +258,15 @@ def _cmd_sweep(args):
     spec = PRESET_SWEEPS[args.grid](**kwargs)
     # run_sweep resolves the engine (the --engine process default) in this
     # process and ships it inside every worker payload — spawn workers do
-    # not inherit set_default_engine().
-    result = run_sweep(spec, n_workers=args.workers)
+    # not inherit set_default_engine().  The flag is also passed explicitly
+    # so an `--engine worklist ... --lanes 4` conflict is rejected instead
+    # of silently running the batch engine.
+    result = run_sweep(spec, n_workers=args.workers, lanes=args.lanes,
+                       engine=args.engine)
     print(result.table())
     print(f"\n{len(result.rows)} configurations in "
           f"{result.elapsed_seconds:.2f}s on {args.workers} worker(s) "
-          f"(engine={result.engine})")
+          f"x {result.lanes} lane(s) (engine={result.engine})")
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(result.to_json() + "\n")
@@ -289,9 +295,9 @@ def build_parser():
         description="Speculation in Elastic Systems (DAC 2009) — reproduction toolkit",
     )
     parser.add_argument(
-        "--engine", choices=["worklist", "naive"], default=None,
+        "--engine", choices=["worklist", "naive", "batch"], default=None,
         help="fix-point engine for all simulation/verification "
-             "(default: worklist)",
+             "(default: worklist; batch = lane-parallel bit-packed engine)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -331,12 +337,17 @@ def build_parser():
         help="design-space sweep sharded over multiprocessing workers",
     )
     p.add_argument("--grid",
-                   choices=["fig1", "fig1-accuracy", "fig6", "fig7"],
+                   choices=["fig1", "fig1-accuracy", "fig6", "fig6-lanes",
+                            "fig7"],
                    default="fig6",
                    help="preset parameter grid (default: the 24-point fig6 "
                         "stalling-vs-speculative grid)")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes; 1 = serial in-process")
+    p.add_argument("--lanes", type=int, default=1,
+                   help="simulation lanes per batch: group same-topology "
+                        "configurations and advance N of them per "
+                        "fix-point pass (implies the batch engine)")
     p.add_argument("--cycles", type=int, default=None,
                    help="override simulated cycles per configuration")
     p.add_argument("--json", metavar="PATH", default=None,

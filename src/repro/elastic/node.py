@@ -39,6 +39,20 @@ class Node:
     #: short kind tag used by dot export / back-ends; subclasses override.
     kind = "node"
 
+    #: Batched combinational kernel (lane-parallel engine).
+    #:
+    #: ``None`` means the batch engine evaluates this node lane by lane
+    #: through the ordinary :meth:`comb` (the scalar fallback).  Core node
+    #: kinds override this with a ``staticmethod(ctx)`` that advances every
+    #: lane of a batch at once: ``ctx`` is a
+    #: :class:`repro.sim.batch.BatchNodeCtx` exposing the per-lane node
+    #: instances, the :class:`~repro.elastic.channel.BatchChannelState` of
+    #: each port, and bit-mask drive helpers.  A kernel must implement
+    #: exactly the per-lane semantics of :meth:`comb` (same monotone Kleene
+    #: logic, same signals driven) — the differential batch tests pin the
+    #: two against each other.
+    batch_comb = None
+
     def __init__(self, name):
         self.name = name
         self.in_ports = []        # ordered token-input port names

@@ -166,8 +166,7 @@ class Netlist:
         for node in self.nodes.values():
             node.reset()
         for channel in self.channels.values():
-            channel.state.clear()
-            channel.events_cache = None
+            channel.clear_cycle()
 
     def snapshot(self):
         return tuple(

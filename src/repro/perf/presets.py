@@ -164,6 +164,30 @@ def fig6_spec(designs=("stalling", "speculative"),
     )
 
 
+def fig6_lane_spec(design="speculative",
+                   fracs=(0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9, 1.0),
+                   window=3, seed=3, cycles=800, warmup=100):
+    """A single-topology slice of the Figure 6 grid, sized for lane
+    batching: one design style, eight arithmetic fractions.
+
+    All eight configurations share one netlist structure (only the operand
+    stream differs), so ``run_sweep(spec, lanes=8)`` packs the whole sweep
+    into a single 8-lane :class:`~repro.sim.batch.BatchSimulator` pass —
+    this is the workload ``benchmarks/bench_sweep.py`` uses to track the
+    batch engine's cycles/second against the serial scalar baseline."""
+    from repro.perf.sweep import SweepSpec
+
+    return SweepSpec(
+        name=f"fig6-lanes-{design}",
+        factory=fig6_point,
+        grid={"arith_fraction": tuple(fracs)},
+        base={"design": design, "seed": seed, "window": window, "width": 8},
+        channel="out",
+        cycles=cycles,
+        warmup=warmup,
+    )
+
+
 def fig7_spec(designs=("fig7a", "fig7b"),
               rates=(0.0, 0.02, 0.05, 0.1, 0.2, 0.4), seed=3, cycles=800,
               warmup=50):
@@ -187,5 +211,6 @@ PRESET_SWEEPS = {
     "fig1": fig1_spec,
     "fig1-accuracy": fig1_accuracy_spec,
     "fig6": fig6_spec,
+    "fig6-lanes": fig6_lane_spec,
     "fig7": fig7_spec,
 }

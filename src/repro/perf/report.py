@@ -44,6 +44,37 @@ class PerfReport:
         )
 
 
+def static_report(netlist, tech=None, name=None):
+    """Area and cycle-time analysis only (no throughput yet).
+
+    Shared by :func:`performance_report` and the lane-batched sweep path,
+    which measures throughput for many same-topology designs in one batch
+    simulator and attaches it afterwards via :func:`attach_throughput`.
+    """
+    tech = tech or DEFAULT_TECH
+    timing = analyze_timing(netlist, tech)
+    return PerfReport(
+        name=name or netlist.name,
+        area=total_area(netlist, tech),
+        cycle_time=timing.cycle_time,
+        critical_path=timing.path,
+    )
+
+
+def attach_throughput(report, throughput, source):
+    """Attach a throughput figure (and the derived effective cycle time).
+
+    A measured throughput of exactly 0.0 is real data (a deadlocked design
+    point), distinct from "no data" (``None``): keep both out of the
+    division, but never conflate them in the report fields.
+    """
+    report.throughput = throughput
+    report.throughput_source = source
+    if throughput is not None and throughput > 0:
+        report.effective_cycle_time = report.cycle_time / throughput
+    return report
+
+
 def performance_report(netlist, tech=None, sim_channel=None, cycles=2000,
                        warmup=100, name=None):
     """Analyze one design.
@@ -52,33 +83,18 @@ def performance_report(netlist, tech=None, sim_channel=None, cycles=2000,
     elastic, or from simulation on ``sim_channel`` when given (mandatory for
     speculative designs).
     """
-    tech = tech or DEFAULT_TECH
-    timing = analyze_timing(netlist, tech)
-    report = PerfReport(
-        name=name or netlist.name,
-        area=total_area(netlist, tech),
-        cycle_time=timing.cycle_time,
-        critical_path=timing.path,
-    )
+    report = static_report(netlist, tech=tech, name=name)
     if sim_channel is not None:
         measured = measure_throughput(
             netlist, sim_channel, cycles=cycles, warmup=warmup
         )
-        report.throughput = measured.throughput
-        report.throughput_source = "simulation"
-    else:
-        try:
-            report.throughput = marked_graph_throughput(netlist)
-            report.throughput_source = "marked-graph"
-        except NetlistError:
-            report.throughput = None
-            report.throughput_source = "none"
-    # A measured throughput of exactly 0.0 is real data (a deadlocked
-    # design point), distinct from "no data" (None): keep both out of the
-    # division, but never conflate them in the report fields above.
-    if report.throughput is not None and report.throughput > 0:
-        report.effective_cycle_time = report.cycle_time / report.throughput
-    return report
+        return attach_throughput(report, measured.throughput, "simulation")
+    try:
+        return attach_throughput(
+            report, marked_graph_throughput(netlist), "marked-graph"
+        )
+    except NetlistError:
+        return attach_throughput(report, None, "none")
 
 
 def format_report_table(reports):

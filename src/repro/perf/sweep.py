@@ -17,6 +17,22 @@ module provides the declarative spec and the sharded runner:
   merged result is identical — byte-for-byte in its JSON rendering —
   regardless of worker count.
 
+Lane batching
+-------------
+
+``run_sweep(spec, lanes=N)`` multiplies with the process-level sharding
+instead of competing with it: inside each worker (or in-process when
+serial) the configurations are built, grouped by
+:func:`~repro.sim.batch.topology_signature`, and each same-topology group
+is simulated ``N`` configurations at a time by one
+:class:`~repro.sim.batch.BatchSimulator` whose bit-packed channel states
+advance every lane per fix-point pass.  Static analysis (area, timing) is
+unchanged, configurations measured on the marked graph (``channel=None``)
+take the scalar path, and each lane's measured throughput is bit-identical
+to a scalar run of that configuration — so the merged rows are identical
+to a ``lanes=1`` sweep except for the recorded ``engine`` (``"batch"``),
+regardless of how configurations landed in groups or workers.
+
 Engine propagation
 ------------------
 
@@ -166,6 +182,29 @@ def _resolve_channel(netlist, names, channel):
     )
 
 
+def _build_payload(payload):
+    """Instantiate a payload's netlist and resolve its measurement channel."""
+    factory = _resolve_factory(payload["factory"])
+    made = factory(**payload["params"])
+    netlist, names = made if isinstance(made, tuple) else (made, {})
+    channel = _resolve_channel(netlist, names, payload["channel"])
+    return netlist, channel
+
+
+def _row_from_report(payload, report):
+    return {
+        "index": payload["index"],
+        "design": report.name,
+        "params": payload["params"],
+        "area": report.area,
+        "cycle_time": report.cycle_time,
+        "throughput": report.throughput,
+        "effective_cycle_time": report.effective_cycle_time,
+        "throughput_source": report.throughput_source,
+        "engine": get_default_engine(),
+    }
+
+
 def _run_payload(payload):
     """Measure one configuration; runs in the worker *and* in serial mode.
 
@@ -177,10 +216,7 @@ def _run_payload(payload):
     if payload["engine"] is not None:
         set_default_engine(payload["engine"])
     try:
-        factory = _resolve_factory(payload["factory"])
-        made = factory(**payload["params"])
-        netlist, names = made if isinstance(made, tuple) else (made, {})
-        channel = _resolve_channel(netlist, names, payload["channel"])
+        netlist, channel = _build_payload(payload)
         report = performance_report(
             netlist,
             sim_channel=channel,
@@ -188,19 +224,61 @@ def _run_payload(payload):
             warmup=payload["warmup"],
             name=payload["name"],
         )
-        return {
-            "index": payload["index"],
-            "design": report.name,
-            "params": payload["params"],
-            "area": report.area,
-            "cycle_time": report.cycle_time,
-            "throughput": report.throughput,
-            "effective_cycle_time": report.effective_cycle_time,
-            "throughput_source": report.throughput_source,
-            "engine": get_default_engine(),
-        }
+        return _row_from_report(payload, report)
     finally:
         set_default_engine(previous)
+
+
+def _run_chunk(chunk):
+    """Measure a slice of a sweep with lane batching; runs in the worker
+    *and* in serial mode.
+
+    Configurations are grouped by topology signature; each group is cut
+    into runs of at most ``lanes`` lanes and measured through one
+    :class:`~repro.sim.batch.BatchSimulator` per run.  Marked-graph
+    configurations (``channel=None``) have nothing to simulate and take
+    the scalar path.  Returned rows are keyed by expansion index, so the
+    merge is independent of the grouping.
+    """
+    from repro.perf.report import attach_throughput, static_report
+    from repro.perf.throughput import measure_throughput_batch
+    from repro.sim.batch import topology_signature
+
+    lanes = chunk["lanes"]
+    payloads = chunk["payloads"]
+    if lanes <= 1:
+        return [_run_payload(payload) for payload in payloads]
+    previous = get_default_engine()
+    rows = []
+    try:
+        groups = {}
+        for payload in payloads:
+            if payload["engine"] is not None:
+                set_default_engine(payload["engine"])
+            if payload["channel"] is None:
+                rows.append(_run_payload(payload))
+                continue
+            netlist, channel = _build_payload(payload)
+            signature = topology_signature(netlist)
+            groups.setdefault(signature, []).append(
+                (payload, netlist, channel)
+            )
+        for group in groups.values():
+            for start in range(0, len(group), lanes):
+                run = group[start:start + lanes]
+                measured = measure_throughput_batch(
+                    [netlist for _, netlist, _ in run],
+                    [channel for _, _, channel in run],
+                    cycles=run[0][0]["cycles"],
+                    warmup=run[0][0]["warmup"],
+                )
+                for (payload, netlist, _), result in zip(run, measured):
+                    report = static_report(netlist, name=payload["name"])
+                    attach_throughput(report, result.throughput, "simulation")
+                    rows.append(_row_from_report(payload, report))
+    finally:
+        set_default_engine(previous)
+    return rows
 
 
 @dataclass
@@ -219,6 +297,7 @@ class SweepResult:
     n_workers: int
     rows: list
     elapsed_seconds: float
+    lanes: int = 1
 
     @property
     def reports(self):
@@ -257,7 +336,7 @@ class SweepResult:
         return json.dumps(self.to_payload(), indent=2, sort_keys=True)
 
 
-def run_sweep(spec, n_workers=1, engine=None):
+def run_sweep(spec, n_workers=1, engine=None, lanes=1):
     """Expand ``spec`` and measure every configuration.
 
     ``n_workers=1`` runs in-process; ``n_workers>1`` shards the
@@ -269,8 +348,28 @@ def run_sweep(spec, n_workers=1, engine=None):
     ``engine`` overrides the fix-point engine; otherwise ``spec.engine``,
     then the parent's current default (``get_default_engine()``) is
     resolved *here* and shipped to the workers — see the module docstring.
+
+    ``lanes > 1`` turns on lane batching (see the module docstring): each
+    worker's share of the configurations is grouped by topology and
+    simulated up to ``lanes`` configurations per fix-point pass.  Lane
+    batching *is* the batch engine, so an explicit ``engine`` /
+    ``spec.engine`` other than ``"batch"`` is rejected; when neither is
+    given the process default is *not* consulted — lanes imply
+    ``"batch"`` (per-lane results are bit-identical to every scalar
+    engine anyway; the CLI forwards ``--engine`` explicitly so a
+    conflicting flag still errors).
     """
-    resolved_engine = engine or spec.engine or get_default_engine()
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
+    if lanes > 1:
+        resolved_engine = engine or spec.engine or "batch"
+        if resolved_engine != "batch":
+            raise ValueError(
+                f"lanes={lanes} requires engine='batch' (or None), "
+                f"got {resolved_engine!r}"
+            )
+    else:
+        resolved_engine = engine or spec.engine or get_default_engine()
     if resolved_engine not in ENGINES:
         raise ValueError(
             f"unknown engine {resolved_engine!r}; choose from {ENGINES}"
@@ -290,7 +389,23 @@ def run_sweep(spec, n_workers=1, engine=None):
         for config in configs
     ]
     start = time.perf_counter()
-    if n_workers <= 1:
+    if lanes > 1:
+        # Contiguous shards keep grid neighbours — usually same-topology —
+        # in the same worker, where they can share a lane batch.
+        n_chunks = max(1, min(n_workers, len(payloads)))
+        size = -(-len(payloads) // n_chunks)
+        chunks = [
+            {"payloads": payloads[i:i + size], "lanes": lanes}
+            for i in range(0, len(payloads), size)
+        ]
+        if n_workers <= 1:
+            chunk_rows = [_run_chunk(chunk) for chunk in chunks]
+        else:
+            context = multiprocessing.get_context("spawn")
+            with context.Pool(len(chunks)) as pool:
+                chunk_rows = pool.map(_run_chunk, chunks)
+        rows = [row for chunk in chunk_rows for row in chunk]
+    elif n_workers <= 1:
         rows = [_run_payload(payload) for payload in payloads]
     else:
         context = multiprocessing.get_context("spawn")
@@ -304,4 +419,5 @@ def run_sweep(spec, n_workers=1, engine=None):
         n_workers=n_workers,
         rows=rows,
         elapsed_seconds=elapsed,
+        lanes=lanes,
     )

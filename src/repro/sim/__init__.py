@@ -7,7 +7,8 @@ from repro.sim.engine import (
     get_default_engine,
     set_default_engine,
 )
-from repro.sim.monitors import ProtocolMonitor
+from repro.sim.batch import BatchSimulator, topology_signature
+from repro.sim.monitors import BatchProtocolMonitor, ProtocolMonitor
 from repro.sim.trace import TraceRecorder, format_trace_table
 from repro.sim.stats import ChannelStats
 from repro.sim.profile import ProfileReport, format_profile, profile_run
@@ -15,9 +16,12 @@ from repro.sim.profile import ProfileReport, format_profile, profile_run
 __all__ = [
     "ENGINES",
     "Simulator",
+    "BatchSimulator",
+    "topology_signature",
     "get_default_engine",
     "set_default_engine",
     "ProtocolMonitor",
+    "BatchProtocolMonitor",
     "TraceRecorder",
     "format_trace_table",
     "ChannelStats",

@@ -55,6 +55,20 @@ assert.
 ``naive`` — the original dense Gauss–Seidel sweep (every node, every sweep,
 until quiescence; O(nodes²) node evaluations per cycle on deep combinational
 chains).  Kept for differential testing and as a reference semantics.
+
+``batch`` — the lane-parallel engine of :mod:`repro.sim.batch`.  Channel
+signals are bit-packed Python ints — each three-valued signal becomes a
+``(known, value)`` mask pair with one bit per simulation *lane* — so a
+single pass over the same static sensitivity map advances N configurations
+of a shared topology at once, with node logic lane-parallelized through
+bitwise Kleene operators (``Node.batch_comb`` kernels for the core elastic
+node kinds, a per-lane scalar fallback for everything else).
+``Simulator(engine="batch")`` wraps a single netlist in a one-lane
+:class:`~repro.sim.batch.BatchSimulator` and behaves exactly like the
+scalar engines (the differential fuzz tests pin all three against each
+other); multi-lane batches are built directly via
+:class:`~repro.sim.batch.BatchSimulator` or, for design-space sweeps,
+``run_sweep(spec, lanes=N)``.
 """
 
 from __future__ import annotations
@@ -68,7 +82,7 @@ from repro.sim.monitors import ProtocolMonitor
 from repro.sim.stats import ChannelStats
 
 #: Recognized fix-point engines.
-ENGINES = ("worklist", "naive")
+ENGINES = ("worklist", "naive", "batch")
 
 _default_engine = "worklist"
 
@@ -84,6 +98,55 @@ def set_default_engine(name):
 def get_default_engine():
     """The engine used when ``Simulator(engine=None)``."""
     return _default_engine
+
+
+def sensitivity_tables(nodes, n_channels):
+    """Static sensitivity analysis shared by the worklist and batch engines.
+
+    Every node's ``comb_reads()`` is inverted into per-signal reader lists
+    (indexed by the global signal ids already installed on the channel
+    states' ``base``), and the writer -> reader graph is levelized into the
+    once-per-cycle seed order.  Returns ``(readers, order)`` where
+    ``readers`` is a list of reader-index tuples per global signal id and
+    ``order`` is the topological (Kahn) node order, with cyclic regions
+    seeded in declaration order — the worklist converges them regardless.
+    """
+    readers = [[] for _ in range(N_SIGNALS * n_channels)]
+    for ni, node in enumerate(nodes):
+        for port, signal in node.comb_reads():
+            state = node._channels[port].state
+            readers[state.base + SIG_INDEX[signal]].append(ni)
+    # Writer -> reader dependency edges, for levelization.
+    succ = [set() for _ in nodes]
+    for ni, node in enumerate(nodes):
+        for port, signal in node.comb_writes():
+            state = node._channels[port].state
+            for rj in readers[state.base + SIG_INDEX[signal]]:
+                if rj != ni:
+                    succ[ni].add(rj)
+    indegree = [0] * len(nodes)
+    for targets in succ:
+        for j in targets:
+            indegree[j] += 1
+    order = []
+    placed = [False] * len(nodes)
+    ready = deque(i for i, d in enumerate(indegree) if d == 0)
+    scan = 0
+    while len(order) < len(nodes):
+        if not ready:
+            while placed[scan]:
+                scan += 1
+            ready.append(scan)
+        i = ready.popleft()
+        if placed[i]:
+            continue
+        placed[i] = True
+        order.append(i)
+        for j in succ[i]:
+            indegree[j] -= 1
+            if indegree[j] == 0 and not placed[j]:
+                ready.append(j)
+    return [tuple(r) for r in readers], order
 
 
 class Simulator:
@@ -126,13 +189,41 @@ class Simulator:
         self.engine = engine
         self.cycle = 0
         self.observers = list(observers)
-        self.stats = ChannelStats(netlist)
-        self.monitor = ProtocolMonitor(netlist) if check_protocol else None
         # Each sweep propagates information at least one node further, so
-        # #nodes + 2 sweeps always suffice for a resolvable network.
-        self.max_iterations = max_iterations or (len(netlist.nodes) + 2)
+        # #nodes + 2 sweeps always suffice for a resolvable network.  An
+        # explicit 0 (or negative) bound is a caller error, not a request
+        # for the default.
+        if max_iterations is None:
+            max_iterations = len(netlist.nodes) + 2
+        elif max_iterations <= 0:
+            raise ValueError(
+                f"max_iterations must be positive, got {max_iterations}"
+            )
+        self.max_iterations = max_iterations
         self._nodes = list(netlist.nodes.values())
         self._channels = list(netlist.channels.values())
+        self._choosers = [node for node in self._nodes
+                          if type(node).choice_space is not Node.choice_space]
+        self.profile = bool(profile)
+        if engine == "batch":
+            # One-lane delegation to the lane-parallel engine; the wrapper
+            # keeps the full Simulator API (stats, monitor, profiling,
+            # model-checking hooks) so "batch" is a drop-in third engine.
+            from repro.sim.batch import BatchSimulator
+
+            self._batch = BatchSimulator(
+                [netlist], check_protocol=check_protocol,
+                observers=[self.observers], max_iterations=max_iterations,
+                profile=self.profile,
+            )
+            # Live lane-0 view: references held across step() keep
+            # reading current counts, as with the scalar engines.
+            self.stats = self._batch.lane_stats_view(0)
+            self.monitor = self._batch.monitor
+            return
+        self._batch = None
+        self.stats = ChannelStats(netlist)
+        self.monitor = ProtocolMonitor(netlist) if check_protocol else None
         # Pre-bound method lists: the per-cycle loops call these directly
         # instead of re-resolving attributes on every node every cycle.
         self._combs = [node.comb for node in self._nodes]
@@ -140,9 +231,6 @@ class Simulator:
                        if type(node).tick is not Node.tick]
         self._pre_cycles = [node.pre_cycle for node in self._nodes
                             if type(node).pre_cycle is not Node.pre_cycle]
-        self._choosers = [node for node in self._nodes
-                          if type(node).choice_space is not Node.choice_space]
-        self.profile = bool(profile)
         if self.profile:
             self.comb_calls = [0] * len(self._nodes)
             self.evals_per_cycle = []    # worklist: evaluations; naive: comb calls
@@ -157,70 +245,28 @@ class Simulator:
             self._fixpoint = self._fixpoint_naive
         netlist.reset()
 
+
     # -- static sensitivity analysis (worklist engine) -----------------------------
 
     def _build_sensitivity(self):
         """Build the signal -> dependent-nodes map and the levelized seed order."""
-        nodes = self._nodes
         self._log = []
         for index, channel in enumerate(self._channels):
             state = channel.state
             state.base = index * N_SIGNALS
             state.log = self._log
-        n_signals = N_SIGNALS * len(self._channels)
-        readers = [[] for _ in range(n_signals)]
-        for ni, node in enumerate(nodes):
-            for port, signal in node.comb_reads():
-                state = node._channels[port].state
-                readers[state.base + SIG_INDEX[signal]].append(ni)
-        # Writer -> reader dependency edges, for levelization.
-        succ = [set() for _ in nodes]
-        for ni, node in enumerate(nodes):
-            for port, signal in node.comb_writes():
-                state = node._channels[port].state
-                for rj in readers[state.base + SIG_INDEX[signal]]:
-                    if rj != ni:
-                        succ[ni].add(rj)
-        indegree = [0] * len(nodes)
-        for targets in succ:
-            for j in targets:
-                indegree[j] += 1
-        # Kahn's algorithm; when only cyclic regions remain, seed them in
-        # declaration order — the worklist converges them regardless.
-        order = []
-        placed = [False] * len(nodes)
-        ready = deque(i for i, d in enumerate(indegree) if d == 0)
-        scan = 0
-        while len(order) < len(nodes):
-            if not ready:
-                while placed[scan]:
-                    scan += 1
-                ready.append(scan)
-            i = ready.popleft()
-            if placed[i]:
-                continue
-            placed[i] = True
-            order.append(i)
-            for j in succ[i]:
-                indegree[j] -= 1
-                if indegree[j] == 0 and not placed[j]:
-                    ready.append(j)
+        readers, order = sensitivity_tables(self._nodes, len(self._channels))
         self._order = order
-        self._readers = [tuple(r) for r in readers]
-        self._pending = bytearray(len(nodes))
-        self._all_pending = bytes(b"\x01" * len(nodes))
+        self._readers = readers
+        self._pending = bytearray(len(self._nodes))
+        self._all_pending = bytes(b"\x01" * len(self._nodes))
 
     # -- per-cycle phases ----------------------------------------------------------
 
     def _clear_channels(self):
+        # One shared clear path (signals + events cache) for every engine.
         for channel in self._channels:
-            state = channel.state
-            state.vp = None
-            state.sp = None
-            state.vm = None
-            state.sm = None
-            state.data = None
-            channel.events_cache = None
+            channel.clear_cycle()
 
     def _fixpoint_worklist(self):
         # All channel logs are (re)assigned together at construction, so
@@ -261,6 +307,17 @@ class Simulator:
         self._check_resolved()
 
     def _fixpoint_naive(self):
+        # A newer worklist/batch simulator registers its change log on the
+        # channels; stepping this simulator afterwards would append change
+        # events into the *new* simulator's log.  Same ownership rule as
+        # the worklist engine: fail loudly instead.
+        if self._channels and self._channels[0].state.log is not None:
+            raise RuntimeError(
+                "netlist is now owned by a newer Simulator; this simulator "
+                "would append spurious entries to the new simulator's "
+                "change log — construct a fresh Simulator instead of "
+                "reusing this one"
+            )
         self._clear_channels()
         profile = self.profile
         sweeps = 0
@@ -305,6 +362,10 @@ class Simulator:
 
     def step(self):
         """Advance one clock cycle; returns the cycle index just completed."""
+        if self._batch is not None:
+            done = self._batch.step()
+            self.cycle = self._batch.cycle
+            return done
         for pre_cycle in self._pre_cycles:
             pre_cycle()
         self._fixpoint()
@@ -346,6 +407,10 @@ class Simulator:
         shared with the channels' per-cycle cache) for property evaluation
         by the model checker.
         """
+        if self._batch is not None:
+            events = self._batch.step_with_choices(choices)
+            self.cycle = self._batch.cycle
+            return events
         for node in self._choosers:
             if node.choice_space() > 1:
                 node.set_choice(choices.get(node.name, 0))
@@ -367,6 +432,8 @@ class Simulator:
         returns a :class:`repro.sim.profile.ProfileReport`."""
         if not self.profile:
             raise ValueError("Simulator was not constructed with profile=True")
+        if self._batch is not None:
+            return self._batch.profile_report()
         from repro.sim.profile import ProfileReport
 
         by_kind = {}

@@ -75,7 +75,7 @@ def format_profile(report):
         per = calls / (count * report.cycles) if report.cycles else 0.0
         lines.append(f"{kind:<14} {count:>5} {calls:>10} {per:>17.2f}")
     lines.append("")
-    label = "evaluations" if report.engine == "worklist" else "comb calls"
+    label = "comb calls" if report.engine == "naive" else "evaluations"
     lines.append(f"{label} per cycle histogram:")
     for evals, n in sorted(report.eval_histogram().items()):
         lines.append(f"  {evals:>5} {label} x {n} cycle(s)")

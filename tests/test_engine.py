@@ -284,3 +284,167 @@ class TestProfiling:
         sim = Simulator(net)
         with pytest.raises(ValueError):
             sim.profile_report()
+
+
+class TestStaleNaiveSimulator:
+    def _pipeline(self):
+        net = Netlist("p")
+        net.add(ListSource("src", [1, 2, 3]))
+        net.add(ElasticBuffer("eb"))
+        net.add(Sink("snk"))
+        net.connect("src.o", "eb.i", name="in")
+        net.connect("eb.o", "snk.i", name="out")
+        return net
+
+    def test_stale_naive_simulator_detected(self):
+        """Regression: the naive engine must carry the same ownership guard
+        as the worklist engine — stepping an old naive simulator after a
+        newer worklist one is constructed would append spurious entries to
+        the *new* simulator's change log."""
+        net = self._pipeline()
+        stale = Simulator(net, engine="naive")
+        fresh = Simulator(net, engine="worklist")
+        with pytest.raises(RuntimeError, match="newer Simulator"):
+            stale.step()
+        # The fresh simulator's change log was not polluted: it still
+        # simulates correctly.
+        fresh.run(10)
+        assert sink_values(net) == [1, 2, 3]
+
+    def test_stale_naive_detects_newer_batch(self):
+        net = self._pipeline()
+        stale = Simulator(net, engine="naive")
+        Simulator(net, engine="batch")
+        with pytest.raises(RuntimeError, match="newer Simulator"):
+            stale.step()
+
+
+class TestMaxIterationsValidation:
+    def _pipeline(self):
+        net = Netlist("p")
+        net.add(ListSource("src", [1]))
+        net.add(Sink("snk"))
+        net.connect("src.o", "snk.i", name="out")
+        return net
+
+    def test_zero_rejected(self):
+        """Regression: ``max_iterations=0`` used to be silently replaced by
+        the default through ``max_iterations or (...)``."""
+        with pytest.raises(ValueError, match="max_iterations"):
+            Simulator(self._pipeline(), max_iterations=0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="max_iterations"):
+            Simulator(self._pipeline(), engine="naive", max_iterations=-3)
+
+    def test_explicit_value_kept(self):
+        sim = Simulator(self._pipeline(), engine="naive", max_iterations=1)
+        assert sim.max_iterations == 1
+
+    def test_default_when_none(self):
+        net = self._pipeline()
+        assert Simulator(net).max_iterations == len(net.nodes) + 2
+
+
+class TestEventsMidFixpoint:
+    def test_events_raise_on_unresolved_signals(self):
+        """``Channel.events()`` during the fix-point (here: from inside a
+        node's ``comb``) must raise on unresolved signals rather than
+        returning stale events from the previous cycle."""
+        net = Netlist("p")
+        observations = []
+
+        def probe_fn(x):
+            # f2 has not been evaluated yet when f1 first fires, so
+            # mid.sp is unknown here.
+            try:
+                net.channels["mid"].events()
+                observations.append("resolved")
+            except ValueError:
+                observations.append("unresolved")
+            return x
+
+        net.add(ListSource("src", [1, 2, 3]))
+        net.add(Func("f1", probe_fn, n_inputs=1))
+        net.add(Func("f2", lambda x: x, n_inputs=1))
+        net.add(Sink("snk"))
+        net.connect("src.o", "f1.i0", name="in")
+        net.connect("f1.o", "f2.i0", name="mid")
+        net.connect("f2.o", "snk.i", name="out")
+        sim = Simulator(net, engine="worklist")
+        sim.step()
+        assert observations[0] == "unresolved"
+        # After the fix-point the same call resolves (and is cached).
+        assert net.channels["mid"].events() is net.channels["mid"].events_cache
+
+    def test_clear_cycle_resets_state_and_cache(self):
+        """The consolidated per-cycle clear path drops the signals and the
+        cached events together."""
+        from repro.elastic.channel import Channel
+
+        channel = Channel("c")
+        channel.state.set("vp", True)
+        channel.state.set("sp", False)
+        channel.state.set("vm", False)
+        channel.state.set("sm", False)
+        channel.resolve_events()
+        assert channel.events_cache is not None
+        channel.clear_cycle()
+        assert channel.events_cache is None
+        assert channel.state.vp is None
+        assert channel.state.unresolved_signals() == ["vp", "sp", "vm", "sm"]
+
+
+class TestBatchEngineWrapper:
+    def _pipeline(self):
+        net = Netlist("p")
+        net.add(ListSource("src", [1, 2, 3]))
+        net.add(ElasticBuffer("eb"))
+        net.add(Sink("snk"))
+        net.connect("src.o", "eb.i", name="in")
+        net.connect("eb.o", "snk.i", name="out")
+        return net
+
+    def test_batch_engine_simulates(self):
+        net = self._pipeline()
+        sim = Simulator(net, engine="batch").run(10)
+        assert sink_values(net) == [1, 2, 3]
+        assert sim.stats.transfers["out"] == 3
+        assert sim.engine == "batch"
+
+    def test_batch_profile_report(self):
+        """``profile_report()`` works on the batch engine: one seed pass
+        per cycle, kernel evaluations counted per node position."""
+        net = self._pipeline()
+        sim = Simulator(net, engine="batch", profile=True)
+        sim.run(20)
+        report = sim.profile_report()
+        assert report.engine == "batch"
+        assert report.cycles == 20
+        assert report.n_nodes == 3
+        assert report.total_comb_calls >= 3 * 20
+        assert report.sweeps_per_cycle == [1] * 20
+        kinds = set(report.comb_calls_by_kind)
+        assert {"source", "eb", "sink"} <= kinds
+
+    def test_batch_profile_requires_flag(self):
+        sim = Simulator(self._pipeline(), engine="batch")
+        with pytest.raises(ValueError):
+            sim.profile_report()
+
+    def test_stale_batch_wrapper_detected(self):
+        net = self._pipeline()
+        stale = Simulator(net, engine="batch")
+        Simulator(net, engine="worklist")
+        with pytest.raises(RuntimeError, match="newer Simulator"):
+            stale.step()
+
+    def test_batch_wrapper_observers_list_is_live(self):
+        """Observers appended after construction are honoured, exactly as
+        on the scalar engines."""
+        net = self._pipeline()
+        sim = Simulator(net, engine="batch")
+        log = TransferLog(["out"])
+        sim.observers.append(log)
+        sim.run(10)
+        assert [v for _c, v in log.streams["out"]] == [1, 2, 3]

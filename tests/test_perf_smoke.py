@@ -1,0 +1,70 @@
+"""Perf smoke: the lane-batch engine must actually be faster.
+
+``benchmarks/bench_sweep.py`` records the full trajectory numbers (and
+asserts the >= 3x acceptance bar); this tier-1 smoke is a cheap guard
+against *regressions* of the recorded rates — e.g. the batch engine
+silently degrading to per-lane scalar evaluation — using a floor far
+enough below the recorded speedup (~3.3x on the reference 1-CPU runner)
+to stay robust on noisy or slower CI hardware.  Set
+``REPRO_SKIP_PERF_SMOKE=1`` to skip on machines where wall-clock
+assertions are meaningless.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.perf.presets import fig6_lane_spec
+from repro.perf.sweep import run_sweep
+
+#: minimum acceptable quick-measurement speedup (recorded rate is ~3.3x).
+FLOOR = 1.8
+
+#: fraction of the recorded benchmark speedup the quick measurement must
+#: reach when a recorded rate is available for this checkout.
+RECORDED_FRACTION = 0.55
+
+_RESULTS = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "results",
+    "BENCH_sweep.json",
+)
+
+
+def _recorded_lane_speedup():
+    try:
+        with open(_RESULTS) as fh:
+            return json.load(fh)["lane_batching"]["speedup"]
+    except (OSError, KeyError, ValueError):
+        return None
+
+
+def _measure_speedup():
+    spec = fig6_lane_spec(cycles=250, warmup=50)
+    serial = run_sweep(spec, n_workers=1, engine="worklist")
+    batched = run_sweep(spec, n_workers=1, lanes=8)
+    # Correctness first — a fast wrong answer is not a speedup.
+    for scalar_row, batched_row in zip(serial.rows, batched.rows):
+        assert dict(scalar_row, engine="batch") == batched_row
+    return serial.elapsed_seconds / batched.elapsed_seconds
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PERF_SMOKE") == "1",
+    reason="perf smoke disabled via REPRO_SKIP_PERF_SMOKE",
+)
+def test_lane_batching_beats_serial_scalar():
+    threshold = FLOOR
+    recorded = _recorded_lane_speedup()
+    if recorded is not None and recorded >= 3.0:
+        threshold = max(threshold, RECORDED_FRACTION * recorded)
+    speedup = _measure_speedup()
+    if speedup < threshold:
+        # One retry damps scheduler-noise flakes on loaded runners; a real
+        # regression (e.g. batch silently degrading to per-lane scalar
+        # evaluation) fails both measurements.
+        speedup = max(speedup, _measure_speedup())
+    assert speedup >= threshold, (
+        f"8-lane batch speedup regressed: measured {speedup:.2f}x, "
+        f"required {threshold:.2f}x (recorded benchmark: {recorded})"
+    )
