@@ -21,10 +21,9 @@ runner; both sets of numbers land in the same ``BENCH_sweep.json``
 (merged, so neither test clobbers the other's trajectory fields).
 """
 
-import json
 import os
 
-from conftest import RESULTS_DIR, write_json, write_result
+from conftest import merge_json, write_result
 
 from repro.perf.presets import fig6_lane_spec, fig6_spec
 from repro.perf.sweep import run_sweep
@@ -44,20 +43,9 @@ def _usable_cpus():
 
 
 def _merge_bench_json(payload):
-    """Merge ``payload`` into BENCH_sweep.json without dropping the fields
-    the other test (or an earlier PR) recorded — the ROADMAP's perf
-    trajectory extends one file rather than inventing new formats."""
-    path = os.path.join(RESULTS_DIR, "BENCH_sweep.json")
-    merged = {}
-    if os.path.exists(path):
-        with open(path) as fh:
-            merged = json.load(fh)
-    for key, value in payload.items():
-        if isinstance(value, dict) and isinstance(merged.get(key), dict):
-            merged[key].update(value)
-        else:
-            merged[key] = value
-    write_json("BENCH_sweep.json", merged)
+    """Shared-conftest merge (PR 3 convention): neither sweep test clobbers
+    the other's trajectory fields."""
+    merge_json("BENCH_sweep.json", payload)
 
 
 def test_sweep_serial_vs_sharded():

@@ -29,3 +29,22 @@ def write_json(name, payload):
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path
+
+
+def merge_json(name, payload):
+    """Merge ``payload`` into an existing ``BENCH_*.json`` without dropping
+    fields other tests (or earlier PRs) recorded — the ROADMAP's perf
+    trajectory extends one file per topic rather than inventing new
+    formats.  Top-level dict values are merged key-wise; everything else
+    is replaced.  Returns the path."""
+    path = os.path.join(RESULTS_DIR, name)
+    merged = {}
+    if os.path.exists(path):
+        with open(path) as fh:
+            merged = json.load(fh)
+    for key, value in payload.items():
+        if isinstance(value, dict) and isinstance(merged.get(key), dict):
+            merged[key].update(value)
+        else:
+            merged[key] = value
+    return write_json(name, merged)

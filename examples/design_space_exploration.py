@@ -21,7 +21,7 @@ from repro.elastic.environment import NondetSink, NondetSource
 from repro.netlist.graph import Netlist
 from repro.core.shared import SharedModule
 from repro.elastic.eemux import EarlyEvalMux
-from repro.perf import measure_throughput, run_sweep
+from repro.perf import run_sweep
 from repro.perf.presets import fig6_spec
 from repro.perf.timing import cycle_time
 from repro.transform.session import Session
@@ -34,6 +34,10 @@ def explore():
     print("=== scripted exploration of the Figure 1 loop ===")
     net, names = patterns.fig1a(lambda g: (g // 2) % 2)
     session = Session(net)
+    # One warm simulator for the whole loop: every transformation (and
+    # undo) below patches it incrementally through the netlist edit log —
+    # no per-measurement clone or rebuild (PR 4).
+    session.simulator()
 
     def report(tag):
         r = session.report()
@@ -41,10 +45,10 @@ def explore():
         if r.throughput is not None:
             theta = f"{r.throughput:.3f}"
         else:
-            measured = measure_throughput(session.netlist, "mux_f"
-                                          if "mux_f" in session.netlist.channels
-                                          else names["ebin"],
-                                          cycles=600, warmup=60)
+            measured = session.measure("mux_f"
+                                       if "mux_f" in session.netlist.channels
+                                       else names["ebin"],
+                                       cycles=600, warmup=60)
             theta = f"{measured.throughput:.3f} (sim)"
         print(f"  {tag:<28} T={r.cycle_time:6.2f}  area={r.area:7.1f}  "
               f"theta={theta}")

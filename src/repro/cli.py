@@ -10,6 +10,7 @@ Usage (after installation)::
     python -m repro export DIR [--design fig1d]  # Verilog/SMV/dot artifacts
     python -m repro profile [--design fig1d]   # fix-point engine profile
     python -m repro sweep [--grid fig6] [--workers 4] [--lanes 8]  # sharded sweeps
+    python -m repro explore SCRIPT [--design fig1a] [--measure CH]  # warm transform loop
 
 The global ``--engine {worklist,naive,batch}`` option (before the
 subcommand) selects the fix-point engine for every simulation and
@@ -230,11 +231,14 @@ def _cmd_verify(args):
     return 1 if failures else 0
 
 
+# The fig6b/fig7b entries use pure (index-seeded) op streams so that
+# resetting and re-running replays the same tokens — `explore --measure`
+# scores every design point reproducibly on its warm simulator.
 _DESIGNS = {
     "fig1a": lambda: __import__("repro.netlist.patterns", fromlist=["x"]).fig1a(lambda g: g % 2)[0],
     "fig1d": lambda: __import__("repro.netlist.patterns", fromlist=["x"]).table1_design()[0],
-    "fig6b": lambda: __import__("repro.netlist.varlat", fromlist=["x"]).variable_latency_speculative()[0],
-    "fig7b": lambda: __import__("repro.netlist.resilient", fromlist=["x"]).resilient_speculative()[0],
+    "fig6b": lambda: __import__("repro.netlist.varlat", fromlist=["x"]).variable_latency_speculative(pure_stream=True)[0],
+    "fig7b": lambda: __import__("repro.netlist.resilient", fromlist=["x"]).resilient_speculative(pure_stream=True)[0],
 }
 
 
@@ -271,6 +275,52 @@ def _cmd_sweep(args):
         with open(args.json, "w") as fh:
             fh.write(result.to_json() + "\n")
         print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_explore(args):
+    from repro.errors import TransformError
+    from repro.transform.session import Session
+
+    net = _DESIGNS[args.design]()
+    session = Session(net)
+    if args.script == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.script) as fh:
+            text = fh.read()
+    print(f"design={args.design} (netlist version {session.netlist.version})")
+    for number, line in enumerate(text.splitlines(), start=1):
+        command = line.split("#", 1)[0].strip()
+        if not command:
+            continue
+        try:
+            session.run_command(command)
+        except TransformError as err:
+            # The failed transform was rolled back edit by edit; the
+            # session (and any warm simulator) is still on the last good
+            # design point.
+            print(f"error: line {number}: {command!r}: {err}",
+                  file=sys.stderr)
+            return 1
+        row = f"  {command:<44}"
+        if args.measure:
+            # One warm simulator for the whole loop: each measurement
+            # resets and runs in place, patched incrementally per edit.
+            measured = session.measure(args.measure, cycles=args.cycles,
+                                       warmup=args.warmup)
+            row += f" theta={measured.throughput:.4f}"
+        print(row)
+    simulator = session._sim
+    if simulator is not None and simulator._smap is not None:
+        smap = simulator._smap
+        print(f"\n{len(session.log)} steps, netlist version "
+              f"{session.netlist.version}: {smap.patched_edits} edits "
+              f"patched, {smap.full_relevels} full re-levelizations, "
+              f"0 simulator rebuilds")
+    else:
+        print(f"\n{len(session.log)} steps, netlist version "
+              f"{session.netlist.version}")
     return 0
 
 
@@ -353,6 +403,22 @@ def build_parser():
     p.add_argument("--json", metavar="PATH", default=None,
                    help="also write the merged machine-readable report")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "explore",
+        help="run a transform script against a canned design with one "
+             "warm, incrementally patched simulator",
+    )
+    p.add_argument("script",
+                   help="transform command script (one command per line, "
+                        "# comments; '-' reads stdin)")
+    p.add_argument("--design", choices=sorted(_DESIGNS), default="fig1a")
+    p.add_argument("--measure", metavar="CHANNEL", default=None,
+                   help="measure throughput on CHANNEL after every step "
+                        "(warm simulator, no rebuild)")
+    p.add_argument("--cycles", type=int, default=400)
+    p.add_argument("--warmup", type=int, default=50)
+    p.set_defaults(fn=_cmd_explore)
 
     p = sub.add_parser(
         "profile", help="per-node-kind comb() call counts and sweep histograms"

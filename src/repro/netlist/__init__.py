@@ -3,6 +3,7 @@ exploration toolkit — "a collection of modules and FIFOs connected by
 elastic channels" (Section 5)."""
 
 from repro.netlist.graph import Netlist
+from repro.netlist.edits import NetlistEdit
 from repro.netlist.dot import to_dot
 
-__all__ = ["Netlist", "to_dot"]
+__all__ = ["Netlist", "NetlistEdit", "to_dot"]

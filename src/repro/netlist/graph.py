@@ -1,9 +1,33 @@
 """The elastic netlist container.
 
 A :class:`Netlist` owns nodes (elastic blocks) and channels, supports
-incremental construction, structural validation, deep copy (for
-transformations with undo), and is the single input to the simulator, the
-performance models, the verifier and the back-ends.
+incremental construction, structural validation, deep copy (for detached
+working copies), and is the single input to the simulator, the performance
+models, the verifier and the back-ends.
+
+Edit log
+--------
+
+Every structural mutation (:meth:`add`, :meth:`remove`, :meth:`connect`,
+:meth:`disconnect`) bumps the monotonically increasing :attr:`version`
+counter and emits a structured :class:`~repro.netlist.edits.NetlistEdit`
+(with a computable inverse) to every registered subscriber
+(:meth:`subscribe`).  The transformation session records these edits as its
+undo/redo history, and a live simulator patches its sensitivity tables from
+them instead of being rebuilt per transform — see
+:mod:`repro.netlist.edits`.
+
+State-copy semantics (three distinct tools):
+
+* :meth:`clone` — a fully independent deep copy: structure *and* sequential
+  state, fresh node/channel objects, no subscribers.  Use for detached
+  working copies (the rebuild-per-measurement path, sweep workers).
+* :meth:`snapshot` / :meth:`restore` — *sequential state only*, on the same
+  object graph (hashable, used by the model checker and to rewind dynamic
+  state across transforms).  Structure is not captured: restoring a
+  snapshot after a structural edit that removed one of its nodes raises.
+* the edit log — *structure only*: replaying inverse edits rewinds wiring
+  but leaves each surviving node's sequential state as it is now.
 """
 
 from __future__ import annotations
@@ -13,6 +37,7 @@ import copy
 from repro.elastic.channel import Channel, CONSUMER, PRODUCER
 from repro.elastic.node import Node, PortRole
 from repro.errors import NetlistError
+from repro.netlist.edits import ADD_NODE, CONNECT, DISCONNECT, REMOVE_NODE, NetlistEdit
 
 
 class Netlist:
@@ -22,9 +47,43 @@ class Netlist:
         self.name = name
         self.nodes = {}       # name -> Node
         self.channels = {}    # name -> Channel
+        #: monotonically increasing structural version; bumped by every
+        #: add / remove / connect / disconnect (never by state changes).
+        self.version = 0
+        self._subscribers = []
 
     def __repr__(self):
         return f"Netlist({self.name!r}, {len(self.nodes)} nodes, {len(self.channels)} channels)"
+
+    # -- edit log ---------------------------------------------------------------
+
+    def subscribe(self, fn):
+        """Register ``fn(edit)`` to be called after every structural edit;
+        returns ``fn`` so it can be passed back to :meth:`unsubscribe`."""
+        self._subscribers.append(fn)
+        return fn
+
+    def unsubscribe(self, fn):
+        """Remove a subscriber registered with :meth:`subscribe`."""
+        self._subscribers.remove(fn)
+
+    def _emit(self, edit):
+        self.version += 1
+        for fn in list(self._subscribers):
+            fn(edit)
+
+    def apply_edit(self, edit):
+        """Replay a recorded :class:`~repro.netlist.edits.NetlistEdit` (or
+        an inverse) through the public mutators."""
+        return edit.apply(self)
+
+    def __getstate__(self):
+        # Subscribers are live observers of *this* object (simulators,
+        # sessions); a deep copy or pickled worker payload must not drag
+        # them along — clones start unobserved.
+        state = self.__dict__.copy()
+        state["_subscribers"] = []
+        return state
 
     # -- construction -----------------------------------------------------------
 
@@ -35,6 +94,7 @@ class Netlist:
         if node.name in self.nodes:
             raise NetlistError(f"duplicate node name {node.name!r}")
         self.nodes[node.name] = node
+        self._emit(NetlistEdit(ADD_NODE, node=node))
         return node
 
     def connect(self, src, dst, name=None, width=8):
@@ -56,6 +116,10 @@ class Netlist:
         self.nodes[src_node].bind(src_port, channel)
         self.nodes[dst_node].bind(dst_port, channel)
         self.channels[name] = channel
+        self._emit(NetlistEdit(
+            CONNECT, channel=name, src=(src_node, src_port),
+            dst=(dst_node, dst_port), width=width,
+        ))
         return channel
 
     def _resolve(self, ref, role):
@@ -94,6 +158,10 @@ class Netlist:
         dst_node, dst_port = channel.consumer
         del self.nodes[src_node]._channels[src_port]
         del self.nodes[dst_node]._channels[dst_port]
+        self._emit(NetlistEdit(
+            DISCONNECT, channel=channel_name, src=(src_node, src_port),
+            dst=(dst_node, dst_port), width=channel.width,
+        ))
         return (src_node, src_port), (dst_node, dst_port)
 
     def remove(self, node_name):
@@ -105,6 +173,7 @@ class Netlist:
                 f"{sorted(node._channels)}"
             )
         del self.nodes[node_name]
+        self._emit(NetlistEdit(REMOVE_NODE, node=node))
 
     def fresh_name(self, base):
         """A node/channel name not yet in use."""
@@ -116,7 +185,11 @@ class Netlist:
         return f"{base}_{i}"
 
     def clone(self):
-        """Deep copy (nodes, channels, wiring, sequential state)."""
+        """Deep copy: nodes, channels, wiring *and* sequential state, on a
+        fully independent object graph.  Subscribers are not copied (a
+        clone starts unobserved) and the structural :attr:`version` is
+        carried over.  Contrast :meth:`snapshot`/:meth:`restore`, which
+        capture only sequential state on the *same* object graph."""
         return copy.deepcopy(self)
 
     # -- queries --------------------------------------------------------------------
@@ -169,10 +242,15 @@ class Netlist:
             channel.clear_cycle()
 
     def snapshot(self):
+        """Hashable capture of every node's *sequential* state (structure
+        and wiring are not recorded — see the module docstring for the
+        clone / snapshot / edit-log contrast)."""
         return tuple(
             (name, node.snapshot()) for name, node in sorted(self.nodes.items())
         )
 
     def restore(self, state):
+        """Restore a :meth:`snapshot` onto the same structure; raises
+        ``KeyError`` if a snapshotted node has since been removed."""
         for name, node_state in state:
             self.nodes[name].restore(node_state)

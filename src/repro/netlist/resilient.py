@@ -40,23 +40,42 @@ from repro.tech.library import DEFAULT_TECH
 _MASK64 = (1 << 64) - 1
 
 
-def encoded_op_stream(code, error_rate=0.0, seed=0, double_rate=0.0):
+def encoded_op_stream(code, error_rate=0.0, seed=0, double_rate=0.0,
+                      pure=False):
     """Generator fn(i) -> (code_a, code_b): encoded random operand pairs
-    with injected single-bit (and optionally double-bit) errors."""
-    rng = random.Random(seed)
+    with injected single-bit (and optionally double-bit) errors.
 
-    def corrupt(word):
-        if double_rate and rng.random() < double_rate:
-            bits = rng.sample(range(code.code_bits), 2)
-            return code.inject(word, *bits)
-        if error_rate and rng.random() < error_rate:
-            return code.inject(word, rng.randrange(code.code_bits))
-        return word
+    ``pure=True`` makes the generator a pure function of the index (a
+    fresh RNG seeded from ``(seed, i)`` per call), so resetting and
+    re-running the netlist replays the same stream — required for
+    reproducible warm-simulator measurements (``reuse_simulator=``); the
+    default shares one RNG across calls and is cheaper but replays
+    differently after a reset.
+    """
 
-    def gen(_i):
+    def draw(rng):
+        def corrupt(word):
+            if double_rate and rng.random() < double_rate:
+                bits = rng.sample(range(code.code_bits), 2)
+                return code.inject(word, *bits)
+            if error_rate and rng.random() < error_rate:
+                return code.inject(word, rng.randrange(code.code_bits))
+            return word
+
         a = rng.getrandbits(64)
         b = rng.getrandbits(64)
         return (corrupt(code.encode(a)), corrupt(code.encode(b)))
+
+    if pure:
+        def gen(i):
+            return draw(random.Random(seed * 0x9E3779B1 + i))
+
+        return gen
+
+    rng = random.Random(seed)
+
+    def gen(_i):
+        return draw(rng)
 
     return gen
 
@@ -105,13 +124,15 @@ def _add(tok):
     return (a + b) & _MASK64
 
 
-def plain_adder(code=None, tech=None, error_rate=0.0, seed=0):
+def plain_adder(code=None, tech=None, error_rate=0.0, seed=0,
+                pure_stream=False):
     """Unprotected baseline: src -> EB -> strip+add -> EB -> sink."""
     code = code or Secded(64)
     tech = tech or DEFAULT_TECH
     blocks = _blocks(code, tech)
     net = Netlist("fig7_plain")
-    net.add(FunctionSource("src", encoded_op_stream(code, error_rate, seed)))
+    net.add(FunctionSource("src", encoded_op_stream(code, error_rate, seed,
+                                                    pure=pure_stream)))
     net.add(ElasticBuffer("eb_in", capacity=2))
     strip = _strip(code)
     net.add(Func("add", lambda tok: _add(strip(tok)), n_inputs=1,
@@ -126,14 +147,16 @@ def plain_adder(code=None, tech=None, error_rate=0.0, seed=0):
     return net, {"out": "out"}
 
 
-def resilient_nonspeculative(code=None, tech=None, error_rate=0.0, seed=0):
+def resilient_nonspeculative(code=None, tech=None, error_rate=0.0, seed=0,
+                             pure_stream=False):
     """Figure 7(a): src -> EB -> SECDED correct -> EB -> add -> EB -> sink
     (one extra pipeline stage, always paid)."""
     code = code or Secded(64)
     tech = tech or DEFAULT_TECH
     blocks = _blocks(code, tech)
     net = Netlist("fig7a")
-    net.add(FunctionSource("src", encoded_op_stream(code, error_rate, seed)))
+    net.add(FunctionSource("src", encoded_op_stream(code, error_rate, seed,
+                                                    pure=pure_stream)))
     net.add(ElasticBuffer("eb_in", capacity=2))
     net.add(Func("secded", _correct(code), n_inputs=1,
                  delay=blocks["correct_delay"], area_cost=blocks["correct_area"]))
@@ -153,7 +176,7 @@ def resilient_nonspeculative(code=None, tech=None, error_rate=0.0, seed=0):
 
 
 def resilient_speculative(code=None, tech=None, error_rate=0.0, seed=0,
-                          scheduler=None):
+                          scheduler=None, pure_stream=False):
     """Figure 7(b): speculate "no error"; replay from the recovery EB when
     SECDED disagrees."""
     code = code or Secded(64)
@@ -161,7 +184,8 @@ def resilient_speculative(code=None, tech=None, error_rate=0.0, seed=0,
     blocks = _blocks(code, tech)
     scheduler = scheduler or PrimaryScheduler(2, primary=0)
     net = Netlist("fig7b")
-    net.add(FunctionSource("src", encoded_op_stream(code, error_rate, seed)))
+    net.add(FunctionSource("src", encoded_op_stream(code, error_rate, seed,
+                                                    pure=pure_stream)))
     net.add(ElasticBuffer("eb_in", capacity=2))
     net.add(EagerFork("fork", n_outputs=3))
     net.add(Func("raw", _strip(code), n_inputs=1,

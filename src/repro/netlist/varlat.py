@@ -50,17 +50,37 @@ _CMP_DELAY = 2.8
 _CMP_AREA = 8 * 2.2 + 3 * 1.3
 
 
-def alu_op_stream(n_ops=None, seed=0, arith_fraction=0.7, width=8):
-    """Deterministic random stream of ``(op, a, b)`` tuples."""
-    rng = random.Random(seed)
+def alu_op_stream(n_ops=None, seed=0, arith_fraction=0.7, width=8,
+                  pure=False):
+    """Deterministic random stream of ``(op, a, b)`` tuples.
+
+    The default generator advances one shared RNG per call — cheap, but
+    the value of token ``i`` depends on how many tokens were drawn before
+    it.  ``pure=True`` makes the generator a *pure function of the index*
+    (a fresh RNG seeded by ``(seed, i)`` per call), so a netlist that is
+    reset and re-run replays the exact same stream — the property the
+    warm-simulator measurement loop (``reuse_simulator=``) relies on for
+    run-to-run reproducibility.
+    """
     ops = list(ALU_OPS.values())
 
-    def gen(_i):
+    def draw(rng):
         if rng.random() < arith_fraction:
             op = rng.choice([ALU_OPS["add"], ALU_OPS["sub"]])
         else:
             op = rng.choice(ops[2:])
         return (op, rng.getrandbits(width), rng.getrandbits(width))
+
+    if pure:
+        def gen(i):
+            return draw(random.Random(seed * 0x9E3779B1 + i))
+
+        return gen
+
+    rng = random.Random(seed)
+
+    def gen(_i):
+        return draw(rng)
 
     return gen
 
@@ -80,14 +100,16 @@ def _alu_blocks(alu, tech):
     }
 
 
-def variable_latency_stalling(alu=None, tech=None, seed=0, arith_fraction=0.7):
+def variable_latency_stalling(alu=None, tech=None, seed=0, arith_fraction=0.7,
+                              pure_stream=False):
     """Figure 6(a): src -> EB -> stalling VL unit -> G -> EB -> sink."""
     alu = alu or Alu(width=8, window=3)
     tech = tech or DEFAULT_TECH
     blocks = _alu_blocks(alu, tech)
     net = Netlist("fig6a")
     net.add(FunctionSource("src", alu_op_stream(seed=seed,
-                                                arith_fraction=arith_fraction)))
+                                                arith_fraction=arith_fraction,
+                                                pure=pure_stream)))
     net.add(ElasticBuffer("eb_in", capacity=2))
     unit = VariableLatencyUnit(
         "vl",
@@ -113,7 +135,8 @@ def variable_latency_stalling(alu=None, tech=None, seed=0, arith_fraction=0.7):
 
 
 def variable_latency_speculative(alu=None, tech=None, seed=0,
-                                 arith_fraction=0.7, scheduler=None):
+                                 arith_fraction=0.7, scheduler=None,
+                                 pure_stream=False):
     """Figure 6(b): the speculative variable-latency unit.
 
     src -> EB -> fork3 -> { F_approx -> shared.i0,
@@ -127,7 +150,8 @@ def variable_latency_speculative(alu=None, tech=None, seed=0,
     scheduler = scheduler or PrimaryScheduler(2, primary=0)
     net = Netlist("fig6b")
     net.add(FunctionSource("src", alu_op_stream(seed=seed,
-                                                arith_fraction=arith_fraction)))
+                                                arith_fraction=arith_fraction,
+                                                pure=pure_stream)))
     net.add(ElasticBuffer("eb_in", capacity=2))
     net.add(EagerFork("fork", n_outputs=3))
     net.add(Func("Fapprox", lambda tok: alu.approx(*tok).value, n_inputs=1,

@@ -3,7 +3,11 @@ throughput (minimum cycle ratio), simulation-based throughput measurement
 and area accounting — the numbers the Section 5 toolkit reports."""
 
 from repro.perf.timing import cycle_time, critical_path, TimingResult
-from repro.perf.mcr import marked_graph_throughput, min_cycle_ratio
+from repro.perf.mcr import (
+    cached_min_cycle_ratio,
+    marked_graph_throughput,
+    min_cycle_ratio,
+)
 from repro.perf.throughput import (
     measure_throughput,
     measure_throughput_batch,
@@ -17,6 +21,7 @@ __all__ = [
     "cycle_time",
     "critical_path",
     "TimingResult",
+    "cached_min_cycle_ratio",
     "marked_graph_throughput",
     "min_cycle_ratio",
     "measure_throughput",

@@ -19,6 +19,7 @@ early-evaluation designs unless ``force=True``.
 
 from __future__ import annotations
 
+import weakref
 from fractions import Fraction
 
 import networkx as nx
@@ -136,9 +137,43 @@ def _edge_choices(simple, pairs):
     return choices
 
 
-def marked_graph_throughput(netlist, force=False):
-    """Analytical steady-state throughput in transfers/cycle (<= 1.0)."""
+#: netlist -> (structural version, force flag, ratio) memo for
+#: :func:`cached_min_cycle_ratio` (weak keys: dropping a netlist drops its
+#: cache entry).
+_MCR_CACHE = weakref.WeakKeyDictionary()
+
+
+def cached_min_cycle_ratio(netlist, force=False):
+    """:func:`min_cycle_ratio` memoized on the netlist's structural
+    ``version``.
+
+    The session-attached analysis mode of the transform loop: cycle
+    enumeration is only redone after an actual structural edit, so
+    repeated scoring of an unchanged design point (or pure undo/redo
+    round-trips back to a cached version... which still bumps the version,
+    and therefore recomputes — the memo is per *current* version only) is
+    free.  Token-marking changes without structural edits are not detected;
+    use :func:`min_cycle_ratio` directly when mutating markings in place.
+    """
+    version = netlist.version
+    entry = _MCR_CACHE.get(netlist)
+    if entry is not None and entry[0] == version and entry[1] == force:
+        return entry[2]
     ratio = min_cycle_ratio(netlist, force=force)
+    _MCR_CACHE[netlist] = (version, force, ratio)
+    return ratio
+
+
+def marked_graph_throughput(netlist, force=False, cached=False):
+    """Analytical steady-state throughput in transfers/cycle (<= 1.0).
+
+    ``cached=True`` memoizes the cycle enumeration on the netlist's
+    structural version (see :func:`cached_min_cycle_ratio`).
+    """
+    if cached:
+        ratio = cached_min_cycle_ratio(netlist, force=force)
+    else:
+        ratio = min_cycle_ratio(netlist, force=force)
     if ratio is None:
         return 1.0
     return min(1.0, float(ratio))

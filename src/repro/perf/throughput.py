@@ -38,20 +38,56 @@ class ThroughputResult:
 
 
 def measure_throughput(netlist, channel, cycles=2000, warmup=100,
-                       tech=None, check_protocol=True, observers=()):
+                       tech=None, check_protocol=True, observers=(),
+                       reuse_simulator=None):
     """Run the design and report transfers/cycle on ``channel``.
 
     When ``tech`` is given, the static cycle time is attached and the
     *effective cycle time* (clock period / throughput — average time per
     transfer) is derived; that is the figure of merit of Section 5.1
     ("improves the effective cycle time by 9%").
+
+    ``reuse_simulator`` is the warm-loop mode for transform-simulate-
+    measure exploration: pass a live :class:`Simulator` that owns
+    ``netlist`` (typically :meth:`Session.simulator`, kept current across
+    transformations by incremental edit patching) and the measurement
+    resets it and runs *in place* — no netlist clone, no simulator
+    rebuild.  The netlist's sequential state is reset exactly as a fresh
+    construction would, so the measured figures match the rebuild path
+    *provided every node's* ``reset()`` *replays deterministically* —
+    sources whose stream closures share one RNG across calls (the default
+    ``alu_op_stream`` / ``encoded_op_stream``) do not; use their
+    ``pure=True`` / ``pure_stream=True`` variants for reproducible warm
+    measurements.  ``check_protocol`` is fixed by the reused simulator's
+    construction, and ``observers`` are attached for the duration of the
+    measurement only.
     """
-    working = netlist.clone()
-    sim = Simulator(working, check_protocol=check_protocol, observers=list(observers))
-    sim.run(warmup)
-    base = sim.stats.transfers[channel]
-    sim.run(cycles)
-    transfers = sim.stats.transfers[channel] - base
+    if reuse_simulator is not None:
+        sim = reuse_simulator
+        if sim.netlist is not netlist:
+            raise ValueError(
+                "reuse_simulator must be a Simulator constructed on the "
+                "measured netlist"
+            )
+        added = list(observers)
+        sim.observers.extend(added)
+        try:
+            sim.reset()
+            sim.run(warmup)
+            base = sim.stats.transfers[channel]
+            sim.run(cycles)
+            transfers = sim.stats.transfers[channel] - base
+        finally:
+            for observer in added:
+                sim.observers.remove(observer)
+    else:
+        working = netlist.clone()
+        sim = Simulator(working, check_protocol=check_protocol,
+                        observers=list(observers))
+        sim.run(warmup)
+        base = sim.stats.transfers[channel]
+        sim.run(cycles)
+        transfers = sim.stats.transfers[channel] - base
     throughput = transfers / cycles if cycles else 0.0
     result = ThroughputResult(
         channel=channel, transfers=transfers, cycles=cycles, throughput=throughput

@@ -61,8 +61,8 @@ from repro.elastic.channel import (
 )
 from repro.elastic.node import Node
 from repro.errors import CombinationalLoopError
-from repro.sim.engine import sensitivity_tables
 from repro.sim.monitors import BatchProtocolMonitor
+from repro.sim.sensitivity import sensitivity_tables
 from repro.sim.stats import ChannelStats
 
 
@@ -275,6 +275,11 @@ class BatchSimulator:
         self.full = (1 << self.n_lanes) - 1
         self.cycle = 0
         self._stat_cycles = 0
+        # Structural-version guard: the lane-parallel tables are built for
+        # exactly these netlist structures; the batch engine conservatively
+        # invalidates (refuses to step) after any structural edit instead
+        # of patching incrementally like the scalar worklist engine.
+        self._lane_versions = [net.version for net in netlists]
 
         # -- batched channel states (and ownership of the lane channels) --
         self._log = []            # batched engine change log
@@ -424,6 +429,17 @@ class BatchSimulator:
 
     # -- per-cycle phases -----------------------------------------------------
 
+    def _check_structural_versions(self):
+        for lane, (net, built) in enumerate(zip(self.netlists,
+                                                self._lane_versions)):
+            if net.version != built:
+                raise RuntimeError(
+                    f"lane {lane} netlist {net.name!r} was structurally "
+                    f"edited (version {net.version}, batch built at "
+                    f"{built}); the batch engine does not patch "
+                    "incrementally — construct a fresh BatchSimulator"
+                )
+
     def _fixpoint(self):
         # Within one lane the channel logs are (re)assigned together, so
         # checking one channel per lane detects a newer
@@ -561,6 +577,7 @@ class BatchSimulator:
 
     def step(self):
         """Advance all lanes one clock cycle; returns the completed index."""
+        self._check_structural_versions()
         for pre_cycle in self._pre_cycle_fns:
             pre_cycle()
         self._fixpoint()
@@ -585,11 +602,31 @@ class BatchSimulator:
             self.step()
         return self
 
+    def reset(self):
+        """Rewind dynamic state of every lane (netlist sequential state,
+        cycle counter, statistics planes, monitor history) keeping the
+        built batch structures warm."""
+        self._check_structural_versions()
+        for net in self.netlists:
+            net.reset()
+        self.cycle = 0
+        self._stat_cycles = 0
+        n = len(self._channel_names)
+        self._transfers = [_PackedCounter() for _ in range(n)]
+        self._cancels = [_PackedCounter() for _ in range(n)]
+        self._backwards = [_PackedCounter() for _ in range(n)]
+        self._stalls = [_PackedCounter() for _ in range(n)]
+        self._idles = [_PackedCounter() for _ in range(n)]
+        if self.monitor is not None:
+            self.monitor._prev = None
+            self.monitor.violations.clear()
+
     def step_with_choices(self, choices):
         """One cycle with explicit environment choices (model-checking
         hook, mirrors :meth:`Simulator.step_with_choices`): choices are
         applied to every lane's choice nodes by name; returns the lane-0
         per-channel events dict."""
+        self._check_structural_versions()
         for lanes in self._chooser_lanes:
             for node in lanes:
                 if node.choice_space() > 1:

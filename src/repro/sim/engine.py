@@ -17,11 +17,15 @@ Each clock cycle proceeds in four phases:
 Fix-point engines
 -----------------
 
-Two interchangeable fix-point engines are provided (``engine=`` parameter,
-process-wide default via :func:`set_default_engine`):
+Three interchangeable fix-point engines are provided (``engine=``
+parameter, process-wide default via :func:`set_default_engine`):
 
 ``worklist`` (default) — event-driven evaluation over a **static
-sensitivity map**.  At construction the engine asks every node which
+sensitivity map** (a patchable
+:class:`~repro.sim.sensitivity.SensitivityMap` since PR 4, so structural
+netlist edits update a live simulator in place — see `Incremental
+patching` on :class:`Simulator`).  At construction the engine asks every
+node which
 channel signals its ``comb`` may read (:meth:`Node.comb_reads`, derived
 from port roles with per-node narrowing) and which it may drive
 (:meth:`Node.comb_writes`), and inverts the read sets into
@@ -75,11 +79,16 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.elastic.channel import N_SIGNALS, SIG_INDEX
 from repro.elastic.node import Node
 from repro.errors import CombinationalLoopError
 from repro.sim.monitors import ProtocolMonitor
+from repro.sim.sensitivity import SensitivityMap, sensitivity_tables
 from repro.sim.stats import ChannelStats
+
+__all__ = [
+    "ENGINES", "Simulator", "sensitivity_tables",
+    "get_default_engine", "set_default_engine",
+]
 
 #: Recognized fix-point engines.
 ENGINES = ("worklist", "naive", "batch")
@@ -98,55 +107,6 @@ def set_default_engine(name):
 def get_default_engine():
     """The engine used when ``Simulator(engine=None)``."""
     return _default_engine
-
-
-def sensitivity_tables(nodes, n_channels):
-    """Static sensitivity analysis shared by the worklist and batch engines.
-
-    Every node's ``comb_reads()`` is inverted into per-signal reader lists
-    (indexed by the global signal ids already installed on the channel
-    states' ``base``), and the writer -> reader graph is levelized into the
-    once-per-cycle seed order.  Returns ``(readers, order)`` where
-    ``readers`` is a list of reader-index tuples per global signal id and
-    ``order`` is the topological (Kahn) node order, with cyclic regions
-    seeded in declaration order — the worklist converges them regardless.
-    """
-    readers = [[] for _ in range(N_SIGNALS * n_channels)]
-    for ni, node in enumerate(nodes):
-        for port, signal in node.comb_reads():
-            state = node._channels[port].state
-            readers[state.base + SIG_INDEX[signal]].append(ni)
-    # Writer -> reader dependency edges, for levelization.
-    succ = [set() for _ in nodes]
-    for ni, node in enumerate(nodes):
-        for port, signal in node.comb_writes():
-            state = node._channels[port].state
-            for rj in readers[state.base + SIG_INDEX[signal]]:
-                if rj != ni:
-                    succ[ni].add(rj)
-    indegree = [0] * len(nodes)
-    for targets in succ:
-        for j in targets:
-            indegree[j] += 1
-    order = []
-    placed = [False] * len(nodes)
-    ready = deque(i for i, d in enumerate(indegree) if d == 0)
-    scan = 0
-    while len(order) < len(nodes):
-        if not ready:
-            while placed[scan]:
-                scan += 1
-            ready.append(scan)
-        i = ready.popleft()
-        if placed[i]:
-            continue
-        placed[i] = True
-        order.append(i)
-        for j in succ[i]:
-            indegree[j] -= 1
-            if indegree[j] == 0 and not placed[j]:
-                ready.append(j)
-    return [tuple(r) for r in readers], order
 
 
 class Simulator:
@@ -171,15 +131,42 @@ class Simulator:
     profile:
         Record per-node ``comb()`` call counts and per-cycle evaluation /
         sweep histograms (see :mod:`repro.sim.profile`).
+    follow_edits:
+        Subscribe to the netlist's structural edit log: every
+        add/remove/connect/disconnect after construction is applied to
+        this simulator via :meth:`apply_edit` automatically, so a warm
+        simulator survives transformations without reconstruction (see
+        `Incremental patching` below).  Call :meth:`detach` to stop
+        following.
 
     A netlist has a single owning simulator at a time: constructing a new
     :class:`Simulator` on the same netlist re-registers the channels'
     change logs, so a previously constructed simulator must not be stepped
     afterwards (it raises rather than silently missing change events).
+
+    Incremental patching
+    --------------------
+
+    The netlist records a monotonically increasing structural ``version``
+    and emits a :class:`~repro.netlist.edits.NetlistEdit` per mutation.
+    :meth:`apply_edit` patches a live scalar simulator for one such edit —
+    the worklist engine's :class:`~repro.sim.sensitivity.SensitivityMap`
+    re-levelizes only the affected region — so transform-simulate-measure
+    loops keep one warm simulator instead of paying O(netlist)
+    clone-and-rebuild per step.  A simulator whose netlist version
+    advanced *without* the corresponding ``apply_edit`` calls raises on
+    :meth:`step` instead of silently reading stale sensitivity tables; the
+    batch wrapper never patches (conservative invalidation: after any
+    structural edit it must be rebuilt).  :meth:`reset` rewinds dynamic
+    state (netlist sequential state, cycle counter, statistics, monitor
+    history) while keeping the built structures warm — the combination the
+    ``reuse_simulator`` mode of :func:`repro.perf.throughput.measure_throughput`
+    relies on.
     """
 
     def __init__(self, netlist, check_protocol=True, observers=(),
-                 max_iterations=None, engine=None, profile=False):
+                 max_iterations=None, engine=None, profile=False,
+                 follow_edits=False):
         netlist.validate()
         if engine is None:
             engine = _default_engine
@@ -193,6 +180,7 @@ class Simulator:
         # #nodes + 2 sweeps always suffice for a resolvable network.  An
         # explicit 0 (or negative) bound is a caller error, not a request
         # for the default.
+        self._auto_max_iterations = max_iterations is None
         if max_iterations is None:
             max_iterations = len(netlist.nodes) + 2
         elif max_iterations <= 0:
@@ -200,11 +188,16 @@ class Simulator:
                 f"max_iterations must be positive, got {max_iterations}"
             )
         self.max_iterations = max_iterations
+        self._netlist_version = netlist.version
+        self._followed = None
+        self._structures_dirty = False
+        self._edited_channels = set()
         self._nodes = list(netlist.nodes.values())
         self._channels = list(netlist.channels.values())
         self._choosers = [node for node in self._nodes
                           if type(node).choice_space is not Node.choice_space]
         self.profile = bool(profile)
+        self._smap = None
         if engine == "batch":
             # One-lane delegation to the lane-parallel engine; the wrapper
             # keeps the full Simulator API (stats, monitor, profiling,
@@ -220,6 +213,8 @@ class Simulator:
             # reading current counts, as with the scalar engines.
             self.stats = self._batch.lane_stats_view(0)
             self.monitor = self._batch.monitor
+            if follow_edits:
+                self._follow(netlist)
             return
         self._batch = None
         self.stats = ChannelStats(netlist)
@@ -231,35 +226,176 @@ class Simulator:
                        if type(node).tick is not Node.tick]
         self._pre_cycles = [node.pre_cycle for node in self._nodes
                             if type(node).pre_cycle is not Node.pre_cycle]
-        if self.profile:
-            self.comb_calls = [0] * len(self._nodes)
-            self.evals_per_cycle = []    # worklist: evaluations; naive: comb calls
-            self.sweeps_per_cycle = []   # naive only (worklist records 1 seed pass)
         if engine == "worklist":
-            self._build_sensitivity()
+            self._smap = SensitivityMap(netlist)
+            self._log = self._smap.log
+            self._sync_worklist_structures()
             self._fixpoint = self._fixpoint_worklist
         else:
             # Detach any change log a previous worklist simulator registered.
             for channel in self._channels:
                 channel.state.log = None
             self._fixpoint = self._fixpoint_naive
+        if self.profile:
+            if self._smap is not None:
+                # counters are parallel to the map's node slots; keep the
+                # slot layout they were recorded against so a later
+                # refresh (patch or compaction) can remap by name.
+                self._profile_slots = list(self._smap.node_slots)
+                self.comb_calls = [0] * len(self._profile_slots)
+            else:
+                self.comb_calls = [0] * len(self._nodes)
+            self.evals_per_cycle = []    # worklist: evaluations; naive: comb calls
+            self.sweeps_per_cycle = []   # naive only (worklist records 1 seed pass)
+        if follow_edits:
+            self._follow(netlist)
         netlist.reset()
 
+    # -- incremental patching (structural netlist edits) ---------------------------
 
-    # -- static sensitivity analysis (worklist engine) -----------------------------
+    def _follow(self, netlist):
+        netlist.subscribe(self.apply_edit)
+        self._followed = netlist
 
-    def _build_sensitivity(self):
-        """Build the signal -> dependent-nodes map and the levelized seed order."""
-        self._log = []
-        for index, channel in enumerate(self._channels):
-            state = channel.state
-            state.base = index * N_SIGNALS
-            state.log = self._log
-        readers, order = sensitivity_tables(self._nodes, len(self._channels))
-        self._order = order
-        self._readers = readers
-        self._pending = bytearray(len(self._nodes))
-        self._all_pending = bytes(b"\x01" * len(self._nodes))
+    def detach(self):
+        """Stop following the netlist's edit log (no-op when not following)."""
+        if self._followed is not None:
+            self._followed.unsubscribe(self.apply_edit)
+            self._followed = None
+
+    def _sync_worklist_structures(self):
+        """(Re)derive the engine's flat evaluation structures from the
+        sensitivity map's slot tables (holes for removed nodes/channels)."""
+        smap = self._smap
+        self._comb_slots = [None if node is None else node.comb
+                            for node in smap.node_slots]
+        self._nodes = smap.live_nodes()
+        self._channels = smap.live_channels()
+        n_slots = len(smap.node_slots)
+        self._pending = bytearray(n_slots)
+        self._all_pending = bytes(
+            0 if node is None else 1 for node in smap.node_slots
+        )
+
+    def apply_edit(self, edit):
+        """Patch this live simulator for one structural netlist edit.
+
+        Feed every emitted :class:`~repro.netlist.edits.NetlistEdit`
+        exactly once, in order (``follow_edits=True`` does this
+        automatically); afterwards the simulator behaves exactly as a
+        freshly constructed one on the edited netlist, without the
+        O(netlist) clone / sensitivity rebuild / reset.  The sensitivity
+        map is patched per edit; the derived flat evaluation structures
+        (pre-bound method lists, monitor exemptions) are refreshed lazily
+        once, right before the next :meth:`step`/:meth:`reset`, so a
+        multi-edit transformation pays the O(netlist) list rebuilds a
+        single time.  The batch engine wrapper does not patch: the edit
+        conservatively invalidates it and the next :meth:`step` raises.
+        """
+        from repro.netlist.edits import CONNECT, DISCONNECT
+
+        if self._batch is not None:
+            # Conservative invalidation: _netlist_version stays behind, so
+            # the structural-version guard in step() fires.
+            return
+        if self._smap is not None:
+            # A newer simulator may have taken ownership of the netlist
+            # while this one is still subscribed; patching would steal the
+            # new channels' change logs back.  Detach instead — this
+            # simulator is stale either way and step() will say so.  (The
+            # map still reflects the pre-edit channel set, so any of its
+            # live channels is a valid ownership probe.)
+            live = self._smap.live_channels()
+            if live and live[0].state.log is not self._log:
+                self.detach()
+                return
+            self._smap.apply_edit(edit)
+        if edit.op == CONNECT:
+            self.stats.add_channel(edit.channel)
+        if edit.op in (CONNECT, DISCONNECT):
+            self._edited_channels.add(edit.channel)
+        self._structures_dirty = True
+        self._netlist_version = self.netlist.version
+
+    def _refresh_structures(self):
+        """The deferred O(netlist) part of edit patching: re-derive the
+        flat evaluation structures after one *or more* applied edits."""
+        self._structures_dirty = False
+        if self._smap is not None:
+            if self.profile:
+                # The map's slot layout may have shifted (new slots, or a
+                # compaction renumbering everything); remap the recorded
+                # counts through the node names.
+                counts = {node.name: calls for node, calls
+                          in zip(self._profile_slots, self.comb_calls)
+                          if node is not None}
+                self.comb_calls = [
+                    0 if node is None else counts.get(node.name, 0)
+                    for node in self._smap.node_slots
+                ]
+                self._profile_slots = list(self._smap.node_slots)
+            self._sync_worklist_structures()
+        else:
+            if self.profile:
+                # comb_calls is parallel to _nodes for the naive engine;
+                # remap the recorded counts through the (old) node names.
+                counts = {node.name: calls
+                          for node, calls in zip(self._nodes, self.comb_calls)}
+            self._nodes = list(self.netlist.nodes.values())
+            self._channels = list(self.netlist.channels.values())
+            self._combs = [node.comb for node in self._nodes]
+            if self.profile:
+                self.comb_calls = [counts.get(node.name, 0)
+                                   for node in self._nodes]
+        self._ticks = [node.tick for node in self._nodes
+                       if type(node).tick is not Node.tick]
+        self._pre_cycles = [node.pre_cycle for node in self._nodes
+                            if type(node).pre_cycle is not Node.pre_cycle]
+        self._choosers = [node for node in self._nodes
+                          if type(node).choice_space is not Node.choice_space]
+        if self._auto_max_iterations:
+            self.max_iterations = len(self.netlist.nodes) + 2
+        if self.monitor is not None:
+            self.monitor.structure_changed()
+            for name in self._edited_channels:
+                self.monitor._prev.pop(name, None)
+        self._edited_channels.clear()
+
+    def _check_structural_version(self):
+        if self.netlist.version == self._netlist_version:
+            return
+        if self._batch is not None:
+            raise RuntimeError(
+                f"netlist {self.netlist.name!r} was structurally edited "
+                f"(version {self.netlist.version}, simulator built at "
+                f"{self._netlist_version}); the batch engine does not patch "
+                "incrementally — construct a fresh Simulator"
+            )
+        raise RuntimeError(
+            f"netlist {self.netlist.name!r} was structurally edited "
+            f"(version {self.netlist.version}, simulator last synced at "
+            f"{self._netlist_version}) without Simulator.apply_edit(); "
+            "follow the edit log (follow_edits=True / Session.simulator()) "
+            "or construct a fresh Simulator instead of stepping this one"
+        )
+
+    def reset(self):
+        """Rewind dynamic state — netlist sequential state, cycle counter,
+        statistics and monitor history — keeping the built engine
+        structures (sensitivity map, levelization, pre-bound node lists)
+        warm.  The warm-simulator analogue of constructing afresh."""
+        self._check_structural_version()
+        if self._batch is not None:
+            self._batch.reset()
+            self.cycle = 0
+            return
+        if self._structures_dirty:
+            self._refresh_structures()
+        self.netlist.reset()
+        self.cycle = 0
+        self.stats.reset()
+        if self.monitor is not None:
+            self.monitor.reset()
 
     # -- per-cycle phases ----------------------------------------------------------
 
@@ -282,9 +418,9 @@ class Simulator:
         log.clear()
         pending = self._pending
         pending[:] = self._all_pending
-        combs = self._combs
-        readers = self._readers
-        queue = deque(self._order)
+        combs = self._comb_slots
+        readers = self._smap.readers
+        queue = deque(self._smap.order)
         profile = self.profile
         evals = 0
         while queue:
@@ -362,10 +498,13 @@ class Simulator:
 
     def step(self):
         """Advance one clock cycle; returns the cycle index just completed."""
+        self._check_structural_version()
         if self._batch is not None:
             done = self._batch.step()
             self.cycle = self._batch.cycle
             return done
+        if self._structures_dirty:
+            self._refresh_structures()
         for pre_cycle in self._pre_cycles:
             pre_cycle()
         self._fixpoint()
@@ -397,6 +536,8 @@ class Simulator:
 
     def choice_nodes(self):
         """Nodes with a nondeterministic choice this cycle."""
+        if self._structures_dirty:
+            self._refresh_structures()
         return [node for node in self._choosers if node.choice_space() > 1]
 
     def step_with_choices(self, choices):
@@ -407,10 +548,13 @@ class Simulator:
         shared with the channels' per-cycle cache) for property evaluation
         by the model checker.
         """
+        self._check_structural_version()
         if self._batch is not None:
             events = self._batch.step_with_choices(choices)
             self.cycle = self._batch.cycle
             return events
+        if self._structures_dirty:
+            self._refresh_structures()
         for node in self._choosers:
             if node.choice_space() > 1:
                 node.set_choice(choices.get(node.name, 0))
@@ -434,10 +578,19 @@ class Simulator:
             raise ValueError("Simulator was not constructed with profile=True")
         if self._batch is not None:
             return self._batch.profile_report()
+        if self._structures_dirty:
+            self._refresh_structures()
         from repro.sim.profile import ProfileReport
 
+        # For the worklist engine the counters are parallel to the
+        # sensitivity map's node slots (holes for removed nodes); for the
+        # naive engine they are parallel to the live node list.
+        counted = (self._smap.node_slots if self._smap is not None
+                   else self._nodes)
         by_kind = {}
-        for node, calls in zip(self._nodes, self.comb_calls):
+        for node, calls in zip(counted, self.comb_calls):
+            if node is None:
+                continue
             entry = by_kind.setdefault(node.kind, [0, 0])
             entry[0] += calls
             entry[1] += 1

@@ -40,6 +40,23 @@ class ProtocolMonitor:
 
         self._retry_exempt = retry_exempt_channels(netlist)
 
+    def structure_changed(self, channel_name=None):
+        """Re-derive the retry-exemption set after a structural netlist
+        edit, and forget the previous-cycle signals of the edited channel
+        (a freshly (re)connected channel starts history-free, exactly as
+        under a rebuilt monitor)."""
+        from repro.verif.properties import retry_exempt_channels
+
+        self._retry_exempt = retry_exempt_channels(self.netlist)
+        if channel_name is not None:
+            self._prev.pop(channel_name, None)
+
+    def reset(self):
+        """Clear per-run history (previous-cycle signals, recorded
+        violations); the property configuration is kept."""
+        self._prev.clear()
+        self.violations.clear()
+
     def observe(self, cycle):
         for name, channel in self.netlist.channels.items():
             st = channel.state

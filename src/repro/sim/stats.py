@@ -16,6 +16,26 @@ class ChannelStats:
         self.stalls = {name: 0 for name in netlist.channels}
         self.idles = {name: 0 for name in netlist.channels}
 
+    def _counters(self):
+        return (self.transfers, self.cancels, self.backwards,
+                self.stalls, self.idles)
+
+    def add_channel(self, name):
+        """Start counting a channel added to the netlist after construction
+        (incremental structural patching); counts of a previously removed
+        channel of the same name continue rather than restart."""
+        for counter in self._counters():
+            counter.setdefault(name, 0)
+
+    def reset(self):
+        """Zero every counter in place (held references stay live), keyed
+        by the netlist's *current* channel set."""
+        self.cycles = 0
+        for counter in self._counters():
+            counter.clear()
+            for name in self.netlist.channels:
+                counter[name] = 0
+
     def observe(self, cycle, events=None):
         """Count one cycle's events.
 

@@ -1,8 +1,14 @@
 """Shared machinery for netlist transformations.
 
 All transformations are *local graph rewrites* applied in place; each
-returns a :class:`TransformRecord` describing what changed.  The
-:class:`~repro.transform.session.Session` wrapper adds undo/redo by cloning.
+returns a :class:`TransformRecord` describing what changed.  Every rewrite
+here (and in the five transformation modules built on it) mutates the
+design exclusively through the netlist's four structural mutators —
+``add`` / ``remove`` / ``connect`` / ``disconnect`` — so each step lands in
+the netlist's edit log: the :class:`~repro.transform.session.Session`
+records the emitted :class:`~repro.netlist.edits.NetlistEdit` stream as its
+undo/redo history, and a live simulator following the log patches itself
+per edit instead of being rebuilt.
 """
 
 from __future__ import annotations

@@ -8,6 +8,23 @@ visualize the modified graph, undo and redo the transformations."
 :class:`Session` provides exactly that: named transformations applied to a
 working copy of the design, an undo/redo stack, a command-string interface
 for scripts, dot export and performance reports.
+
+History is the netlist's **edit log**, not clones: every transformation
+records the structured :class:`~repro.netlist.edits.NetlistEdit` stream it
+caused, and undo/redo replay inverse (forward) edits in place — memory is
+O(history x edit) instead of O(history x netlist), ``session.netlist``
+stays the *same object* across undo/redo (so a warm, edit-following
+simulator survives), and a transformation that fails — including one that
+only fails structural validation *after* mutating — is rolled back exactly,
+edit by edit.  Undo/redo rewind **structure** only; sequential state
+(buffer tokens, RNG positions) is carried by the surviving node objects —
+rewind it explicitly with :meth:`Netlist.snapshot` / ``restore`` when
+needed (simulation-based measurement resets state anyway).
+
+The warm-loop API: :meth:`simulator` hands out one live simulator that
+follows every transformation by incremental patching, and :meth:`measure`
+/ :meth:`mcr` score the current design point without the per-step
+clone-and-rebuild the exploration loop used to pay.
 """
 
 from __future__ import annotations
@@ -28,21 +45,46 @@ class Session:
     def __init__(self, netlist, max_history=64):
         self.netlist = netlist.clone()
         self.max_history = max_history
-        self._undo = []
+        self._undo = []          # (kind, [forward edits]) entries
         self._redo = []
         self.log = []
+        self._recording = None
+        self._sim = None
+        self.netlist.subscribe(self._on_edit)
 
     # -- core mechanics --------------------------------------------------------
 
+    def _on_edit(self, edit):
+        if self._recording is not None:
+            self._recording.append(edit)
+
+    def _replay(self, edits, inverse):
+        """Replay ``edits`` (or their inverses, in reverse) on the netlist;
+        subscribers — e.g. the warm simulator — observe every step."""
+        if inverse:
+            for edit in reversed(edits):
+                edit.inverse().apply(self.netlist)
+        else:
+            for edit in edits:
+                edit.apply(self.netlist)
+
     def _apply(self, kind, fn, *args, **kwargs):
-        before = self.netlist.clone()
+        edits = []
+        self._recording = edits
         try:
             result = fn(self.netlist, *args, **kwargs)
+            # Validation belongs *inside* the rollback scope: a transform
+            # that yields a structurally invalid netlist must restore the
+            # pre-transform design, not leave the session on the corrupted
+            # one.
+            self.netlist.validate()
         except Exception:
-            self.netlist = before
+            self._recording = None
+            self._replay(edits, inverse=True)
             raise
-        self.netlist.validate()
-        self._undo.append((kind, before))
+        finally:
+            self._recording = None
+        self._undo.append((kind, edits))
         if len(self._undo) > self.max_history:
             self._undo.pop(0)
         self._redo.clear()
@@ -52,18 +94,18 @@ class Session:
     def undo(self):
         if not self._undo:
             raise TransformError("nothing to undo")
-        kind, before = self._undo.pop()
-        self._redo.append((kind, self.netlist))
-        self.netlist = before
+        kind, edits = self._undo.pop()
+        self._replay(edits, inverse=True)
+        self._redo.append((kind, edits))
         self.log.append(f"undo {kind}")
         return kind
 
     def redo(self):
         if not self._redo:
             raise TransformError("nothing to redo")
-        kind, after = self._redo.pop()
-        self._undo.append((kind, self.netlist))
-        self.netlist = after
+        kind, edits = self._redo.pop()
+        self._replay(edits, inverse=False)
+        self._undo.append((kind, edits))
         self.log.append(f"redo {kind}")
         return kind
 
@@ -171,6 +213,51 @@ class Session:
             if line:
                 results.append(self.run_command(line, schedulers=schedulers))
         return results
+
+    # -- warm transform-simulate-measure loop ------------------------------------------
+
+    def simulator(self, **kwargs):
+        """One warm :class:`~repro.sim.engine.Simulator` attached to this
+        session's netlist.
+
+        The simulator follows every subsequent transformation (and
+        undo/redo) through the netlist's edit log — its sensitivity map is
+        patched in place instead of being rebuilt per step.  The instance
+        is cached; it is replaced automatically if it stopped following
+        (e.g. a newer simulator took ownership of the netlist).
+        ``kwargs`` are forwarded to the Simulator constructor on
+        (re)creation.
+        """
+        from repro.sim.engine import Simulator
+
+        sim = self._sim
+        if (sim is None or sim._followed is not self.netlist
+                or self.netlist.version != sim._netlist_version):
+            if sim is not None:
+                sim.detach()
+            sim = Simulator(self.netlist, follow_edits=True, **kwargs)
+            self._sim = sim
+        return sim
+
+    def measure(self, channel, cycles=2000, warmup=100, tech=None, **kwargs):
+        """Measured throughput of the *current* design point on ``channel``
+        (see :func:`repro.perf.throughput.measure_throughput`), reusing the
+        session's warm simulator: the netlist is reset and run in place —
+        no clone, no simulator rebuild."""
+        from repro.perf.throughput import measure_throughput
+
+        return measure_throughput(
+            self.netlist, channel, cycles=cycles, warmup=warmup, tech=tech,
+            reuse_simulator=self.simulator(**kwargs),
+        )
+
+    def mcr(self, force=False):
+        """Analytical minimum cycle ratio of the current design point,
+        memoized on the netlist's structural version (transform loops
+        re-analyze only after an actual edit)."""
+        from repro.perf.mcr import cached_min_cycle_ratio
+
+        return cached_min_cycle_ratio(self.netlist, force=force)
 
     # -- reporting ---------------------------------------------------------------------
 

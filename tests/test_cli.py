@@ -70,6 +70,30 @@ class TestCli:
         assert "(engine=naive)" in out
         assert get_default_engine() == "worklist"
 
+    def test_explore_script(self, tmp_path, capsys):
+        script = tmp_path / "explore.txt"
+        script.write_text(
+            "# the paper's recipe, with a detour\n"
+            "insert_bubble mux_f\n"
+            "undo\n"
+            "shannon mux F\n"
+            "early_eval mux\n"
+            "share F_c0 F_c1 --scheduler=toggle\n"
+        )
+        assert main(["explore", str(script), "--design", "fig1a",
+                     "--measure", "mux_f", "--cycles", "120",
+                     "--warmup", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "insert_bubble mux_f" in out and "theta=" in out
+        assert "0 simulator rebuilds" in out
+
+    def test_explore_without_measure(self, tmp_path, capsys):
+        script = tmp_path / "explore.txt"
+        script.write_text("insert_bubble mux_f\nundo\n")
+        assert main(["explore", str(script), "--design", "fig1a"]) == 0
+        out = capsys.readouterr().out
+        assert "2 steps" in out
+
     def test_profile(self, capsys):
         assert main(["profile", "--design", "fig1d", "--cycles", "50"]) == 0
         out = capsys.readouterr().out

@@ -1,11 +1,13 @@
-"""Perf smoke: the lane-batch engine must actually be faster.
+"""Perf smoke: the recorded engine-level speedups must not regress.
 
-``benchmarks/bench_sweep.py`` records the full trajectory numbers (and
-asserts the >= 3x acceptance bar); this tier-1 smoke is a cheap guard
-against *regressions* of the recorded rates — e.g. the batch engine
-silently degrading to per-lane scalar evaluation — using a floor far
-enough below the recorded speedup (~3.3x on the reference 1-CPU runner)
-to stay robust on noisy or slower CI hardware.  Set
+``benchmarks/bench_sweep.py`` and ``benchmarks/bench_incremental.py``
+record the full trajectory numbers (and assert the >= 3x acceptance
+bars); these tier-1 smokes are cheap guards against *regressions* of the
+recorded rates — e.g. the batch engine silently degrading to per-lane
+scalar evaluation, or incremental edit patching silently falling back to
+full rebuilds — using floors far enough below the recorded speedups
+(~3.3x lane batching, ~3.2-3.7x incremental, both on the reference 1-CPU
+runner) to stay robust on noisy or slower CI hardware.  Set
 ``REPRO_SKIP_PERF_SMOKE=1`` to skip on machines where wall-clock
 assertions are meaningless.
 """
@@ -25,18 +27,25 @@ FLOOR = 1.8
 #: reach when a recorded rate is available for this checkout.
 RECORDED_FRACTION = 0.55
 
-_RESULTS = os.path.join(
+_RESULTS_DIR = os.path.join(
     os.path.dirname(__file__), "..", "benchmarks", "results",
-    "BENCH_sweep.json",
 )
+_RESULTS = os.path.join(_RESULTS_DIR, "BENCH_sweep.json")
+
+
+def _recorded(path, *keys):
+    try:
+        with open(path) as fh:
+            value = json.load(fh)
+        for key in keys:
+            value = value[key]
+        return value
+    except (OSError, KeyError, ValueError):
+        return None
 
 
 def _recorded_lane_speedup():
-    try:
-        with open(_RESULTS) as fh:
-            return json.load(fh)["lane_batching"]["speedup"]
-    except (OSError, KeyError, ValueError):
-        return None
+    return _recorded(_RESULTS, "lane_batching", "speedup")
 
 
 def _measure_speedup():
@@ -67,4 +76,111 @@ def test_lane_batching_beats_serial_scalar():
     assert speedup >= threshold, (
         f"8-lane batch speedup regressed: measured {speedup:.2f}x, "
         f"required {threshold:.2f}x (recorded benchmark: {recorded})"
+    )
+
+
+# -- incremental transform-loop smoke (ISSUE 4) --------------------------------
+
+#: minimum acceptable quick-measurement incremental-loop speedup
+#: (recorded rate is ~3.7x).
+INCREMENTAL_FLOOR = 1.6
+
+#: fraction of the recorded bench speedup the quick loop must reach (the
+#: quick loop's 40 steps stay on smaller netlists than the recorded
+#: 200-step bench, so its intrinsic ratio runs a little lower).
+INCREMENTAL_RECORDED_FRACTION = 0.45
+
+
+def _measure_incremental_speedup(steps=40, cycles=6, warmup=2):
+    """A shrunk version of ``benchmarks/bench_incremental.py``: the same
+    transform-simulate-measure loop over the fig6b speculative design,
+    warm-patched vs clone-and-rebuild, with score-parity asserted."""
+    import random
+    import time
+
+    from repro.errors import TransformError
+    from repro.netlist.varlat import variable_latency_speculative
+    from repro.perf.throughput import measure_throughput
+    from repro.transform.session import Session
+
+    def design():
+        return variable_latency_speculative(seed=3, pure_stream=True)[0]
+
+    rng = random.Random(9)
+    commands = []
+    scratch = Session(design())
+    while len(commands) < steps:
+        channels = sorted(scratch.netlist.channels)
+        roll = rng.random()
+        if roll < 0.55:
+            command = f"insert_bubble {rng.choice(channels)}"
+        elif roll < 0.75:
+            command = f"insert_zbl {rng.choice(channels)}"
+        elif roll < 0.9:
+            command = "undo"
+        else:
+            command = "redo"
+        try:
+            scratch.run_command(command)
+        except TransformError:
+            continue
+        commands.append(command)
+
+    warm_session = Session(design())
+    warm_session.simulator()
+    start = time.perf_counter()
+    warm_scores = []
+    for command in commands:
+        warm_session.run_command(command)
+        warm_scores.append(
+            warm_session.measure("out", cycles=cycles, warmup=warmup).transfers
+        )
+    warm_seconds = time.perf_counter() - start
+
+    cold_session = Session(design())
+    history = []
+    start = time.perf_counter()
+    cold_scores = []
+    for command in commands:
+        # The pre-ISSUE-4 cost model, as in benchmarks/bench_incremental.py:
+        # a whole-netlist deep clone per transform (the old Session's undo
+        # history) plus the rebuild measurement path (per-step clone +
+        # fresh Simulator).
+        history.append(cold_session.netlist.clone())
+        if len(history) > 64:
+            history.pop(0)
+        cold_session.run_command(command)
+        cold_scores.append(
+            measure_throughput(cold_session.netlist, "out",
+                               cycles=cycles, warmup=warmup).transfers
+        )
+    cold_seconds = time.perf_counter() - start
+    # Correctness first — a fast wrong answer is not a speedup.
+    assert warm_scores == cold_scores
+    return cold_seconds / warm_seconds
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PERF_SMOKE") == "1",
+    reason="perf smoke disabled via REPRO_SKIP_PERF_SMOKE",
+)
+def test_incremental_patching_beats_rebuild():
+    threshold = INCREMENTAL_FLOOR
+    recorded = _recorded(
+        os.path.join(_RESULTS_DIR, "BENCH_incremental.json"),
+        "incremental_loop", "speedup",
+    )
+    if recorded is not None and recorded >= 3.0:
+        threshold = max(threshold,
+                        INCREMENTAL_RECORDED_FRACTION * recorded)
+    speedup = _measure_incremental_speedup()
+    if speedup < threshold:
+        # One retry damps scheduler-noise flakes on loaded runners; a real
+        # regression (e.g. apply_edit silently rebuilding from scratch, or
+        # reuse_simulator cloning after all) fails both measurements.
+        speedup = max(speedup, _measure_incremental_speedup())
+    assert speedup >= threshold, (
+        f"incremental transform-loop speedup regressed: measured "
+        f"{speedup:.2f}x, required {threshold:.2f}x "
+        f"(recorded benchmark: {recorded})"
     )

@@ -57,6 +57,41 @@ class TestUndoRedo:
             session.shannon("F", "mux")        # arguments swapped: invalid
         assert set(session.netlist.nodes) == nodes_before
 
+    def test_invalid_result_rolls_back_mutations(self):
+        """Regression (ISSUE 4): a transform that mutates and only *then*
+        turns out invalid must be rolled back — validation runs inside the
+        rollback scope, so the session never keeps a corrupted netlist."""
+        from repro.errors import NetlistError
+
+        session, _names = fig1a_session()
+        nodes_before = set(session.netlist.nodes)
+        channels_before = set(session.netlist.channels)
+
+        def bad_transform(netlist):
+            # mutate successfully, but leave dangling ports behind
+            netlist.disconnect("mux_f")
+
+        with pytest.raises(NetlistError):
+            session._apply("bad_transform", bad_transform)
+        assert set(session.netlist.nodes) == nodes_before
+        assert set(session.netlist.channels) == channels_before
+        session.netlist.validate()
+        assert session.log == [] and session._undo == []
+        # the session keeps working normally afterwards
+        session.insert_bubble("mux_f")
+        session.undo()
+
+    def test_undo_keeps_netlist_object_identity(self):
+        """Edit-log history patches in place: ``session.netlist`` stays the
+        same object across transform/undo/redo (what keeps a warm
+        edit-following simulator attached)."""
+        session, _names = fig1a_session()
+        net = session.netlist
+        session.insert_bubble("mux_f")
+        session.undo()
+        session.redo()
+        assert session.netlist is net
+
     def test_original_netlist_untouched(self):
         net, _names = patterns.fig1a(lambda g: 0)
         session = Session(net)
