@@ -6,7 +6,7 @@ Usage (after installation)::
     python -m repro fig1 [--bias 0.8]          # Figure 1(a)-(d) comparison
     python -m repro fig6                       # variable-latency ALU study
     python -m repro fig7 [--error-rate 0.1]    # SECDED resilience study
-    python -m repro verify                     # model-check the controllers
+    python -m repro verify [--lanes 8]         # model-check the controllers
     python -m repro export DIR [--design fig1d]  # Verilog/SMV/dot artifacts
     python -m repro profile [--design fig1d]   # fix-point engine profile
     python -m repro sweep [--grid fig6] [--workers 4] [--lanes 8]  # sharded sweeps
@@ -136,14 +136,18 @@ def _cmd_fig7(args):
 
 def _cmd_verify(args):
     from repro.core.scheduler import NondetScheduler, StaticScheduler, ToggleScheduler
-    from repro.core.shared import SharedModule
     from repro.elastic.buffers import ElasticBuffer, ZeroBackwardLatencyBuffer
-    from repro.elastic.eemux import EarlyEvalMux
     from repro.elastic.environment import NondetSink, NondetSource
+    from repro.netlist import patterns
     from repro.netlist.graph import Netlist
     from repro.verif.deadlock import find_deadlocks
     from repro.verif.explore import StateExplorer
     from repro.verif.leads_to import check_leads_to
+
+    if args.lanes > 1 and args.engine in ("worklist", "naive"):
+        print(f"error: --engine {args.engine} is a scalar engine; "
+              "--lanes implies the lane-batched explorer", file=sys.stderr)
+        return 2
 
     failures = 0
 
@@ -155,7 +159,8 @@ def _cmd_verify(args):
         net.add(NondetSink("snk", can_kill=True))
         net.connect("src.o", (node.name, "i"), name="in")
         net.connect((node.name, "o"), "snk.i", name="out")
-        result = StateExplorer(net, max_states=args.max_states).explore()
+        result = StateExplorer(net, max_states=args.max_states,
+                               lanes=args.lanes).explore()
         deadlocks = find_deadlocks(result)
         ok = not result.violations and not deadlocks and result.complete
         failures += not ok
@@ -163,6 +168,9 @@ def _cmd_verify(args):
               f"violations={len(result.violations)} deadlocks={len(deadlocks)}"
               f" -> {'OK' if ok else 'FAIL'}")
 
+    engine_label = (f"lane-batched x{args.lanes}" if args.lanes > 1
+                    else "scalar")
+    print(f"exploration engine: {engine_label}")
     print("elastic buffers under nondeterministic environments:")
     check_buffer(lambda: ElasticBuffer("eb"), "standard EB")
     check_buffer(lambda: ZeroBackwardLatencyBuffer("eb"), "ZBL EB (Fig. 5)")
@@ -172,44 +180,11 @@ def _cmd_verify(args):
                              ("nondet (any prediction)", NondetScheduler(2)),
                              ("static w/o repair", StaticScheduler(
                                  2, favourite=0, repair=False))]:
-        net = Netlist("mc")
-        net.add(NondetSource("a"))
-        net.add(NondetSource("b"))
-        net.add(SharedModule("sh", lambda x: x, scheduler, n_channels=2))
-        net.add(EarlyEvalMux("mux", n_inputs=2))
-        from repro.elastic.environment import NondetSource as _NS
-
-        class BinSel(_NS):
-            def choice_space(self):
-                return 1 if self._offering else 3
-
-            def pre_cycle(self):
-                if not self._offering and self._choice in (1, 2):
-                    self._offering = True
-                    self._counter = self._choice - 1
-
-            def snapshot(self):
-                return (self._offering, self._counter)
-
-            def restore(self, state):
-                self._offering, self._counter = state
-
-            def tick(self):
-                ost = self.st("o")
-                if ost.vp and not ost.sp:
-                    self._offering = False
-
-        net.add(BinSel("sel"))
-        net.add(NondetSink("snk"))
-        net.connect("a.o", "sh.i0", name="fin0")
-        net.connect("b.o", "sh.i1", name="fin1")
-        net.connect("sh.o0", "mux.i0", name="fout0")
-        net.connect("sh.o1", "mux.i1", name="fout1")
-        net.connect("sel.o", "mux.s", name="cs")
-        net.connect("mux.o", "snk.i", name="out")
-        result = StateExplorer(net, max_states=args.max_states).explore()
-        ok0, _ = check_leads_to(result, "fin0", "fout0")
-        ok1, _ = check_leads_to(result, "fin1", "fout1")
+        net, names = patterns.speculative_mc(scheduler)
+        result = StateExplorer(net, max_states=args.max_states,
+                               lanes=args.lanes).explore()
+        ok0, _ = check_leads_to(result, names["fin0"], names["fout0"])
+        ok1, _ = check_leads_to(result, names["fin1"], names["fout1"])
         safe = not result.violations
         leads = ok0 and ok1
         if label.startswith("static"):
@@ -375,6 +350,10 @@ def build_parser():
 
     p = sub.add_parser("verify", help="model-check controllers (Section 4.2)")
     p.add_argument("--max-states", type=int, default=60000)
+    p.add_argument("--lanes", type=int, default=1,
+                   help="frontier expansions batched per fix-point pass "
+                        "(lane-batched exploration; implies the batch "
+                        "engine)")
     p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser("export", help="emit Verilog/SMV/dot for a canned design")

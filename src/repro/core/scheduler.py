@@ -17,14 +17,17 @@ the final channel mux, which is the property Section 5.1 exploits to pull
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.errors import SchedulerError
 
 
-@dataclass(frozen=True)
-class SchedulerFeedback:
+class SchedulerFeedback(NamedTuple):
     """What a scheduler may observe at the end of a cycle.
+
+    (A named tuple rather than a frozen dataclass: one is constructed per
+    shared module per clock tick, which makes it a model-checking hot
+    path — same immutable named-field API either way.)
 
     Attributes
     ----------
@@ -73,6 +76,14 @@ class Scheduler:
         """Update registered state at the clock edge."""
 
     def snapshot(self):
+        """Hashable capture of the registered state.
+
+        The model checker embeds this (via the owning
+        :class:`~repro.core.shared.SharedModule`) in its compact state
+        keys, so keep it a flat tuple of ints / bools / ``None`` — see
+        :meth:`repro.elastic.node.Node.snapshot` for the encoding
+        contract.
+        """
         return ()
 
     def restore(self, state):

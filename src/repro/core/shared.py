@@ -183,16 +183,19 @@ class SharedModule(Node):
         granted = None
         killed = []
         valid = []
-        for j in range(self.n_channels):
-            ost = self.st(f"o{j}")
-            ist = self.st(f"i{j}")
+        channels = self._channels
+        in_ports = self.in_ports     # ["i0", ...] / ["o0", ...] by
+        out_ports = self.out_ports   # construction — no f-strings here,
+        for j in range(self.n_channels):     # tick is a model-checking hot path
+            ost = channels[out_ports[j]].state
+            ist = channels[in_ports[j]].state
             if ost.vp and not ost.sp and not ost.vm:
                 granted = j
             if ost.vm and (ost.vp or not ost.sm):
                 killed.append(j)
             if ist.vp:
                 valid.append(j)
-        og = self.st(f"o{g}")
+        og = channels[out_ports[g]].state
         stalled = bool(og.vp and og.sp and not og.vm)
         if granted is not None:
             self.grants += 1

@@ -302,6 +302,13 @@ class ChannelEvents:
         return self.cancel or self.backward
 
 
+#: interned data-less event outcomes (a channel cycle is one of these or a
+#: forward transfer carrying data).
+EV_IDLE = ChannelEvents(forward=False, cancel=False, backward=False, data=None)
+EV_CANCEL = ChannelEvents(forward=False, cancel=True, backward=False, data=None)
+EV_BACKWARD = ChannelEvents(forward=False, cancel=False, backward=True, data=None)
+
+
 class Channel:
     """A named point-to-point elastic channel between two node ports.
 
@@ -377,12 +384,28 @@ class Channel:
 
     def _compute_events(self):
         st = self.state
-        vp = as_bool(st.vp, f"{self.name}.vp")
-        sp = as_bool(st.sp, f"{self.name}.sp")
-        vm = as_bool(st.vm, f"{self.name}.vm")
-        sm = as_bool(st.sm, f"{self.name}.sm")
-        cancel = vp and vm
-        forward = vp and not sp and not vm
-        backward = vm and not sm and not vp
-        data = st.data if forward else None
-        return ChannelEvents(forward=forward, cancel=cancel, backward=backward, data=data)
+        vp = st.vp
+        sp = st.sp
+        vm = st.vm
+        sm = st.sm
+        if vp is None or sp is None or vm is None or sm is None:
+            # Slow path only for the error case: name the offending signal.
+            name = self.name
+            as_bool(vp, f"{name}.vp")
+            as_bool(sp, f"{name}.sp")
+            as_bool(vm, f"{name}.vm")
+            as_bool(sm, f"{name}.sm")
+        # Only a forward transfer carries data; the three data-less outcomes
+        # are interned (hot path of statistics, monitors and the model
+        # checker — equality semantics are unchanged, ChannelEvents is a
+        # frozen dataclass compared by fields).
+        if vp:
+            if vm:
+                return EV_CANCEL
+            if not sp:
+                return ChannelEvents(forward=True, cancel=False,
+                                     backward=False, data=st.data)
+            return EV_IDLE
+        if vm and not sm:
+            return EV_BACKWARD
+        return EV_IDLE

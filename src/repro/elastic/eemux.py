@@ -18,6 +18,7 @@ scheduler corrects itself.
 
 from __future__ import annotations
 
+from repro.elastic.channel import iter_lanes
 from repro.elastic.node import Node
 from repro.errors import SchedulerError
 from repro.kleene import kand, kite, knot, kor
@@ -145,12 +146,17 @@ class EarlyEvalMux(Node):
             inputs = [ctx.bst(f"i{j}") for j in range(lanes[0].n_inputs)]
             static["ports"] = (s, o, inputs)
         n_inputs = len(inputs)
-        # Early out: a re-evaluation with every driven signal (and every
-        # offered lane's data) already known cannot add information.
+        # Per-lane early out: a lane with every driven signal (and, when
+        # offering, the output data) already known cannot gain information
+        # from a re-evaluation — only the remaining lanes run the per-lane
+        # Kleene logic below.  Re-evaluations within a fix-point typically
+        # touch a handful of lanes, so this bounds the kernel's work by
+        # lanes *still settling*, not by the batch width.
         done = o.vp_k & o.sm_k & s.sp_k & s.vm_k
         for ist in inputs:
             done &= ist.vm_k & ist.sp_k
-        if done == full and not o.vp_v & ~o.data_k:
+        done &= ~(o.vp_v & ~o.data_k)
+        if done == full:
             return
         ovp_k = ovp_v = 0
         ssp_k = ssp_v = 0
@@ -158,7 +164,8 @@ class EarlyEvalMux(Node):
         ivm = [[0, 0] for _ in range(n_inputs)]
         isp = [[0, 0] for _ in range(n_inputs)]
         data_lanes = []              # (lane, sel) pairs that may drive data
-        for lane, node in enumerate(lanes):
+        for lane in iter_lanes(full & ~done):
+            node = lanes[lane]
             bit = 1 << lane
             # _select, on this lane's slice of the batch state
             if not s.vp_k & bit:
@@ -244,22 +251,20 @@ class EarlyEvalMux(Node):
     # -- sequential -----------------------------------------------------------------
 
     def tick(self):
-        sst = self.st("s")
-        ost = self.st("o")
+        channels = self._channels
+        sst = channels["s"].state
+        ost = channels["o"].state
         fire = sst.vp and not sst.sp
-        kill_events = [False] * self.n_inputs
-        if fire:
-            sel = sst.data
-            for j in range(self.n_inputs):
-                if j != sel:
-                    kill_events[j] = True
-            if self._pko > 0:
-                self._pko -= 1
+        sel = sst.data if fire else None
+        in_ports = self.in_ports     # ["s", "i0", ...] by construction —
+        pk = self._pk                # no per-tick f-strings (hot path)
+        if fire and self._pko > 0:
+            self._pko -= 1
         for j in range(self.n_inputs):
-            ist = self.st(f"i{j}")
+            ist = channels[in_ports[1 + j]].state
             delivered = ist.vm and (ist.vp or not ist.sm)
-            self._pk[j] += int(kill_events[j]) - int(delivered)
-            if self._pk[j] < 0 or self._pk[j] > self.max_kills:
+            pk[j] += int(fire and j != sel) - int(delivered)
+            if pk[j] < 0 or pk[j] > self.max_kills:
                 raise AssertionError(f"EarlyEvalMux {self.name}: kill counter out of range")
         if ost.vm and not ost.sm and not ost.vp:
             self._pko += 1

@@ -365,6 +365,21 @@ class NondetSource(Node):
         changed |= self.drive("o", "sm", False)
         return changed
 
+    @staticmethod
+    def batch_comb(ctx):
+        """Lane-parallel :meth:`comb`: the per-lane offer registers (frozen
+        by ``pre_cycle``) become one mask, per-lane counters scatter into
+        the data slots of the offering lanes."""
+        o = ctx.bst("o")
+        offering = 0
+        for lane, node in enumerate(ctx.lanes):
+            if node._offering:
+                offering |= 1 << lane
+        o.set_mask("vp", ctx.full, offering)
+        for lane in iter_lanes(offering & ~o.data_k):
+            o.set_data(lane, ctx.lanes[lane]._counter)
+        o.set_mask("sm", ctx.full, 0)
+
     def tick(self):
         ost = self.st("o")
         if ost.vp and not ost.sp:
@@ -410,6 +425,7 @@ class NondetSink(Node):
             self._killing = True
 
     def comb_reads(self):
+        # Drives purely from the frozen choice / kill registers.
         return []
 
     def comb(self):
@@ -420,6 +436,18 @@ class NondetSink(Node):
         changed = self.drive("i", "vm", False)
         changed |= self.drive("i", "sp", self._choice == 1)
         return changed
+
+    @staticmethod
+    def batch_comb(ctx):
+        i = ctx.bst("i")
+        killing = stalling = 0
+        for lane, node in enumerate(ctx.lanes):
+            if node._killing:
+                killing |= 1 << lane
+            elif node._choice == 1:
+                stalling |= 1 << lane
+        i.set_mask("vm", ctx.full, killing)
+        i.set_mask("sp", ctx.full, stalling)
 
     def tick(self):
         ist = self.st("i")
@@ -434,3 +462,68 @@ class NondetSink(Node):
 
     def restore(self, state):
         (self._killing,) = state
+
+
+class NondetChoiceSource(NondetSource):
+    """Nondeterministic source emitting *select* tokens ``0..n_values-1``.
+
+    Each cycle while idle the model checker chooses to stay idle (choice
+    0) or start offering value ``choice - 1``; once offering, persistence
+    pins the choice space to 1 until the token leaves.  This is the
+    nondeterministic select-generator of the paper's Section 4.2
+    composition (steering the early-evaluation mux behind a shared
+    module), shared by the verification tests, the CLI ``verify`` command
+    and the exploration benchmarks.
+    """
+
+    kind = "nondet_choice_source"
+
+    def __init__(self, name, n_values=2):
+        if n_values < 1:
+            raise ValueError(f"{name}: n_values must be >= 1, got {n_values}")
+        self.n_values = n_values
+        super().__init__(name)
+
+    def reset(self):
+        super().reset()
+        self._value = 0
+
+    def choice_space(self):
+        return 1 if self._offering else 1 + self.n_values
+
+    def pre_cycle(self):
+        if not self._offering and self._choice:
+            self._offering = True
+            self._value = self._choice - 1
+
+    def comb(self):
+        changed = self.drive("o", "vp", self._offering)
+        if self._offering:
+            changed |= self.drive("o", "data", self._value)
+        changed |= self.drive("o", "sm", False)
+        return changed
+
+    @staticmethod
+    def batch_comb(ctx):
+        o = ctx.bst("o")
+        offering = 0
+        for lane, node in enumerate(ctx.lanes):
+            if node._offering:
+                offering |= 1 << lane
+        o.set_mask("vp", ctx.full, offering)
+        for lane in iter_lanes(offering & ~o.data_k):
+            o.set_data(lane, ctx.lanes[lane]._value)
+        o.set_mask("sm", ctx.full, 0)
+
+    def tick(self):
+        ost = self.st("o")
+        if ost.vp and not ost.sp:
+            # Forward transfer or cancellation: the select token is gone.
+            self._offering = False
+            self.emitted += 1
+
+    def snapshot(self):
+        return (self._offering, self._value)
+
+    def restore(self, state):
+        self._offering, self._value = state

@@ -51,6 +51,12 @@ class Node:
     #: exactly the per-lane semantics of :meth:`comb` (same monotone Kleene
     #: logic, same signals driven) — the differential batch tests pin the
     #: two against each other.
+    #:
+    #: Kernels do **not** blindly inherit: a subclass that overrides
+    #: :meth:`comb` without defining its own ``batch_comb`` falls back to
+    #: per-lane scalar evaluation (see
+    #: :func:`repro.sim.batch.resolve_batch_kernel`), since the inherited
+    #: kernel would lane-parallelize the *ancestor's* semantics.
     batch_comb = None
 
     def __init__(self, name):
@@ -167,7 +173,14 @@ class Node:
     # -- model checking interface ----------------------------------------------
 
     def snapshot(self):
-        """Hashable snapshot of the sequential state."""
+        """Hashable snapshot of the sequential state.
+
+        Prefer nested tuples of ints / bools / strings / ``None``: the
+        model checker's state index stores a canonical ``marshal``-based
+        byte encoding of these (see :mod:`repro.verif.encoding`) instead
+        of the raw tuples; exotic value types force it back to plain
+        tuple keys for the whole state.
+        """
         return ()
 
     def restore(self, state):

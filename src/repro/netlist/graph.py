@@ -51,6 +51,7 @@ class Netlist:
         #: add / remove / connect / disconnect (never by state changes).
         self.version = 0
         self._subscribers = []
+        self._snapshot_order = None   # version-keyed sorted-node cache
 
     def __repr__(self):
         return f"Netlist({self.name!r}, {len(self.nodes)} nodes, {len(self.channels)} channels)"
@@ -80,9 +81,11 @@ class Netlist:
     def __getstate__(self):
         # Subscribers are live observers of *this* object (simulators,
         # sessions); a deep copy or pickled worker payload must not drag
-        # them along — clones start unobserved.
+        # them along — clones start unobserved.  The snapshot-order cache
+        # is rebuilt on demand rather than serialized.
         state = self.__dict__.copy()
         state["_subscribers"] = []
+        state["_snapshot_order"] = None
         return state
 
     # -- construction -----------------------------------------------------------
@@ -244,13 +247,37 @@ class Netlist:
     def snapshot(self):
         """Hashable capture of every node's *sequential* state (structure
         and wiring are not recorded — see the module docstring for the
-        clone / snapshot / edit-log contrast)."""
-        return tuple(
-            (name, node.snapshot()) for name, node in sorted(self.nodes.items())
-        )
+        clone / snapshot / edit-log contrast).
+
+        The sorted node order is cached per structural :attr:`version` —
+        the model checker snapshots once per explored transition, and
+        re-sorting an unchanged netlist dominated that hot path.
+        """
+        cached = self._snapshot_order
+        if cached is None or cached[0] != self.version:
+            cached = (self.version, [
+                (name, node.snapshot, node.restore)
+                for name, node in sorted(self.nodes.items())
+            ])
+            self._snapshot_order = cached
+        return tuple([(name, snap()) for name, snap, _restore in cached[1]])
 
     def restore(self, state):
         """Restore a :meth:`snapshot` onto the same structure; raises
         ``KeyError`` if a snapshotted node has since been removed."""
+        cached = self._snapshot_order
+        if (cached is not None and cached[0] == self.version
+                and len(cached[1]) == len(state)):
+            # Fast path: a snapshot of this very structure restores through
+            # the cached bound methods, skipping the per-node dict lookups.
+            # Any name mismatch falls back (node.restore is idempotent, so
+            # a partially applied fast pass is simply re-applied below).
+            for (name, _snap, restore), (snap_name, node_state) in zip(
+                    cached[1], state):
+                if name != snap_name:
+                    break
+                restore(node_state)
+            else:
+                return
         for name, node_state in state:
             self.nodes[name].restore(node_state)

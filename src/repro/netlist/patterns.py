@@ -299,3 +299,60 @@ def pipeline_with_func(values, fn, n_stages=2, stall_rate=0.0, seed=0, delay=1.0
     net.connect(prev, "snk.i", name="out")
     net.validate()
     return net
+
+
+def speculative_mc(scheduler=None, n_zbl=0, can_kill_sink=False):
+    """The Section 4.2 model-checking composition.
+
+    Two nondeterministic sources feed a :class:`SharedModule` whose outputs
+    steer through an early-evaluation mux selected by a nondeterministic
+    0/1 select source, into a nondeterministic sink — the exact netlist the
+    paper composes with NuSMV to verify protocol safety, deadlock freedom
+    and the scheduler leads-to constraint.  Shared by the verification
+    tests, ``python -m repro verify`` and the exploration benchmarks.
+
+    ``n_zbl`` appends a chain of Figure 5 zero-backward-latency buffers
+    between the mux and the sink: each stage both multiplies the reachable
+    state space and extends the *combinational* stop/kill region behind
+    the speculative unit, which is what makes the deeper variants the
+    fix-point-heavy workloads of the exploration benchmarks.
+    ``can_kill_sink`` lets the sink inject anti-tokens (exercising the
+    counterflow network through the whole chain).
+
+    Returns ``(netlist, names)`` where ``names`` maps the canonical labels
+    ``fin0``/``fin1`` (shared-module inputs), ``fout0``/``fout1`` (its
+    outputs), ``sel`` and ``out`` to the channel names, so leads-to checks
+    can be addressed uniformly.
+    """
+    from repro.core.shared import SharedModule
+    from repro.elastic.eemux import EarlyEvalMux
+    from repro.elastic.environment import (
+        NondetChoiceSource,
+        NondetSink,
+        NondetSource,
+    )
+
+    if scheduler is None:
+        scheduler = ToggleScheduler(2)
+    net = Netlist("mc")
+    net.add(NondetSource("a"))
+    net.add(NondetSource("b"))
+    net.add(NondetChoiceSource("sel", n_values=2))
+    net.add(SharedModule("sh", lambda x: x, scheduler, n_channels=2))
+    net.add(EarlyEvalMux("mux", n_inputs=2))
+    net.add(NondetSink("snk", can_kill=can_kill_sink))
+    net.connect("a.o", "sh.i0", name="fin0")
+    net.connect("b.o", "sh.i1", name="fin1")
+    net.connect("sh.o0", "mux.i0", name="fout0")
+    net.connect("sh.o1", "mux.i1", name="fout1")
+    net.connect("sel.o", "mux.s", name="cs")
+    prev = "mux.o"
+    for i in range(n_zbl):
+        net.add(ZeroBackwardLatencyBuffer(f"z{i}"))
+        net.connect(prev, f"z{i}.i", name=f"zc{i}")
+        prev = f"z{i}.o"
+    net.connect(prev, "snk.i", name="out")
+    net.validate()
+    names = {"fin0": "fin0", "fin1": "fin1", "fout0": "fout0",
+             "fout1": "fout1", "sel": "cs", "out": "out"}
+    return net, names

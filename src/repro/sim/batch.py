@@ -48,6 +48,16 @@ unresolved signals exactly as under the scalar engines.  Kernel-only
 batches skip that clearing as an optimization — ``batch_comb`` kernels
 are engine code and must work from the mask pairs, never from the scalar
 states, inside the fix-point.
+
+Beyond lock-step simulation, the batch engine exposes per-lane dynamic
+state scatter/gather for the model checker
+(:mod:`repro.verif.explore`): :meth:`BatchSimulator.restore_lane_states`
+loads a *different* netlist snapshot into every lane,
+:meth:`BatchSimulator.step_with_lane_choices` advances all lanes through
+one shared fix-point with per-lane environment choices, and
+:meth:`BatchSimulator.lane_snapshot` / :meth:`BatchSimulator.lane_signals`
+read each lane's successor state back out — which is what lets the
+explorer expand B frontier states per fix-point pass.
 """
 
 from __future__ import annotations
@@ -57,6 +67,10 @@ from collections import deque
 from repro.elastic.channel import (
     ALL_SIGNALS,
     BatchChannelState,
+    ChannelEvents,
+    EV_BACKWARD,
+    EV_CANCEL,
+    EV_IDLE,
     N_SIGNALS,
 )
 from repro.elastic.node import Node
@@ -64,6 +78,29 @@ from repro.errors import CombinationalLoopError
 from repro.sim.monitors import BatchProtocolMonitor
 from repro.sim.sensitivity import sensitivity_tables
 from repro.sim.stats import ChannelStats
+
+
+def resolve_batch_kernel(cls):
+    """The ``batch_comb`` kernel the batch engine may use for node class
+    ``cls``, or ``None`` for the per-lane scalar fallback.
+
+    A kernel is only trusted when it was defined *at or below* the class
+    that defines ``comb`` in the MRO: a subclass that overrides ``comb``
+    while inheriting an ancestor's ``batch_comb`` would lane-parallelize
+    the ancestor's semantics, silently diverging from its own scalar
+    behaviour.  Such classes fall back to the (always-correct) scalar
+    evaluation instead — override ``batch_comb`` too (or set it back to
+    ``None``) to opt in.
+    """
+    kernel = cls.batch_comb
+    if kernel is None:
+        return None
+    mro = cls.__mro__
+    kernel_definer = next(k for k in mro if "batch_comb" in k.__dict__)
+    comb_definer = next(k for k in mro if "comb" in k.__dict__)
+    if mro.index(kernel_definer) <= mro.index(comb_definer):
+        return kernel
+    return None
 
 
 def topology_signature(netlist):
@@ -317,7 +354,7 @@ class BatchSimulator:
         self._ctx_caches = []
         self._any_fallback = False
         for pos, lanes in enumerate(self._node_lanes):
-            kernel = type(lanes[0]).batch_comb
+            kernel = resolve_batch_kernel(type(lanes[0]))
             if kernel is not None:
                 ports = {
                     port: self._bst_by_name[lanes[0]._channels[port].name]
@@ -621,16 +658,10 @@ class BatchSimulator:
             self.monitor._prev = None
             self.monitor.violations.clear()
 
-    def step_with_choices(self, choices):
-        """One cycle with explicit environment choices (model-checking
-        hook, mirrors :meth:`Simulator.step_with_choices`): choices are
-        applied to every lane's choice nodes by name; returns the lane-0
-        per-channel events dict."""
-        self._check_structural_versions()
-        for lanes in self._chooser_lanes:
-            for node in lanes:
-                if node.choice_space() > 1:
-                    node.set_choice(choices.get(node.name, 0))
+    def _choice_cycle(self):
+        """The shared cycle body of the model-checking steps: pre-cycle,
+        batched fix-point, monitor, scatter, tick (no statistics — exactly
+        what the scalar :meth:`Simulator.step_with_choices` observes)."""
         for pre_cycle in self._pre_cycle_fns:
             pre_cycle()
         self._fixpoint()
@@ -640,9 +671,128 @@ class BatchSimulator:
         for tick in self._tick_fns:
             tick()
         self.cycle += 1
+
+    def _gather_choice_results(self):
+        """Per-lane results of a choice step, resolved from the bit-planes
+        in one masked pass per channel: the per-channel
+        :class:`ChannelEvents` dict of every lane (also cached on each
+        lane's channel, exactly as the scalar engines leave behind) and
+        every lane's packed signal byte vector (``VP | SP<<1 | VM<<2 |
+        SM<<3`` per channel, the :mod:`repro.verif.encoding` layout).
+        Returns ``(events, signals)`` with ``events[lane][channel_name]``
+        and ``signals[lane]``."""
+        n_lanes = self.n_lanes
+        n_channels = len(self._channel_names)
+        events = [{} for _ in range(n_lanes)]
+        signals = [bytearray(n_channels) for _ in range(n_lanes)]
+        for ci, name in enumerate(self._channel_names):
+            bst = self._bstates[ci]
+            vp = bst.vp_v
+            sp = bst.sp_v
+            vm = bst.vm_v
+            sm = bst.sm_v
+            cancel = vp & vm
+            forward = vp & ~sp & ~vm
+            backward = vm & ~sm & ~vp
+            data = bst.data
+            channels = self._lane_channels[ci]
+            for lane in range(n_lanes):
+                bit = 1 << lane
+                b = 1 if vp & bit else 0
+                if sp & bit:
+                    b |= 2
+                if vm & bit:
+                    b |= 4
+                if sm & bit:
+                    b |= 8
+                signals[lane][ci] = b
+                if forward & bit:
+                    ev = ChannelEvents(forward=True, cancel=False,
+                                       backward=False, data=data[lane])
+                elif cancel & bit:
+                    ev = EV_CANCEL
+                elif backward & bit:
+                    ev = EV_BACKWARD
+                else:
+                    ev = EV_IDLE
+                channels[lane].events_cache = ev
+                events[lane][name] = ev
+        return events, [bytes(p) for p in signals]
+
+    def step_with_choices(self, choices):
+        """One cycle with explicit environment choices (model-checking
+        hook, mirrors :meth:`Simulator.step_with_choices`): choices are
+        applied to every lane's choice nodes by name; returns the lane-0
+        per-channel events dict (resolved from the scattered scalar
+        states — the all-lane mask gather is only worth it when every
+        lane's result is consumed, see :meth:`step_with_lane_choices`)."""
+        self._check_structural_versions()
+        for lanes in self._chooser_lanes:
+            for node in lanes:
+                if node.choice_space() > 1:
+                    node.set_choice(choices.get(node.name, 0))
+        self._choice_cycle()
         return {
             name: self._lane_channels[ci][0].resolve_events()
             for ci, name in enumerate(self._channel_names)
+        }
+
+    def step_with_lane_choices(self, choices_per_lane):
+        """One cycle with *per-lane* explicit choices.
+
+        ``choices_per_lane[lane]`` maps node name -> choice index for that
+        lane (unnamed choice nodes get choice 0, as in the scalar step).
+        Combined with :meth:`restore_lane_states`, this is the batched
+        model-checking hook: the explorer loads B pending frontier
+        expansions into the lanes, steps them through one shared fix-point
+        pass, and reads each lane's successor back out.  Returns
+        ``(events, signals)``: the per-lane per-channel events dicts and
+        the per-lane packed signal byte vectors (see
+        :meth:`_gather_choice_results`).
+        """
+        self._check_structural_versions()
+        if len(choices_per_lane) != self.n_lanes:
+            raise ValueError(
+                f"need one choices dict per lane: got "
+                f"{len(choices_per_lane)} for {self.n_lanes} lane(s)"
+            )
+        for lanes in self._chooser_lanes:
+            for lane, node in enumerate(lanes):
+                if node.choice_space() > 1:
+                    node.set_choice(choices_per_lane[lane].get(node.name, 0))
+        self._choice_cycle()
+        return self._gather_choice_results()
+
+    # -- per-lane dynamic state (model-checking scatter/gather) ---------------
+
+    def restore_lane_states(self, states):
+        """Scatter per-lane sequential state: lane ``l`` is restored to
+        ``states[l]``, a :meth:`Netlist.snapshot` capture of any
+        same-topology netlist.  The state need not have been produced by
+        this lane — the model checker loads a *different* frontier snapshot
+        into every lane before each batched step."""
+        if len(states) != self.n_lanes:
+            raise ValueError(
+                f"need one state per lane: got {len(states)} for "
+                f"{self.n_lanes} lane(s)"
+            )
+        for net, state in zip(self.netlists, states):
+            net.restore(state)
+
+    def lane_snapshot(self, lane):
+        """Gather one lane's sequential state (:meth:`Netlist.snapshot`)."""
+        return self.netlists[lane].snapshot()
+
+    def lane_signals(self, lane):
+        """Gather one lane's resolved control signals, straight from the
+        bit-planes: ``{channel: (vp, sp, vm, sm)}`` (valid after a step)."""
+        bit = 1 << lane
+        return {
+            bst.name: (
+                bool(bst.vp_v & bit), bool(bst.sp_v & bit),
+                bool(bst.vm_v & bit), bool(bst.sm_v & bit),
+            )
+            for bst in self._bstates
         }
 
     # -- per-lane results -----------------------------------------------------

@@ -3,7 +3,8 @@ nondeterministic environments (the role NuSMV plays in Section 4.2),
 deadlock detection, scheduler leads-to (starvation) analysis and transfer
 equivalence checking."""
 
-from repro.verif.explore import StateExplorer, ExplorationResult
+from repro.verif.explore import StateExplorer, ExplorationResult, explore_or_raise
+from repro.verif.encoding import StateCodec
 from repro.verif.properties import check_invariant, check_retry
 from repro.verif.deadlock import find_deadlocks
 from repro.verif.leads_to import check_leads_to
@@ -12,6 +13,8 @@ from repro.verif.equivalence import transfer_streams, assert_transfer_equivalent
 __all__ = [
     "StateExplorer",
     "ExplorationResult",
+    "explore_or_raise",
+    "StateCodec",
     "check_invariant",
     "check_retry",
     "find_deadlocks",

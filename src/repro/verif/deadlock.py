@@ -5,31 +5,32 @@ starting from it can ever produce another token or anti-token movement.
 The paper verifies "the absence of deadlocks ... for any scheduler that
 complies with the leads-to property"; we verify it by direct reachability:
 mark every state from which a productive transition is reachable, and
-report the rest.
+report the rest.  The backward traversal runs over the
+:class:`~repro.verif.explore.ExplorationResult`'s prebuilt predecessor
+index instead of materializing its own reverse adjacency from the flat
+transition list.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 
 def find_deadlocks(result):
     """Deadlocked state indices of an :class:`ExplorationResult`."""
-    # Reverse adjacency over all transitions.
-    reverse = defaultdict(list)
-    for t in result.transitions:
-        reverse[t.target].append(t.source)
     # Seed: sources of productive transitions (the movement happens when
     # leaving the state, so the *source* state is alive).
     alive = set()
-    stack = [t.source for t in result.transitions if t.productive]
-    alive.update(stack)
+    stack = []
+    for t in result.transitions:
+        if t.productive and t.source not in alive:
+            alive.add(t.source)
+            stack.append(t.source)
+    # Everything that can reach an alive state is alive too.
     while stack:
         node = stack.pop()
-        for pred in reverse[node]:
-            if pred not in alive:
-                alive.add(pred)
-                stack.append(pred)
+        for t in result.predecessors(node):
+            if t.source not in alive:
+                alive.add(t.source)
+                stack.append(t.source)
     return [i for i in range(result.n_states) if i not in alive]
 
 

@@ -10,17 +10,54 @@ protocol properties; the resulting state graph feeds deadlock and
 starvation (leads-to) analysis.
 
 A state is ``(netlist snapshot, previous channel signals)`` — the signal
-part makes the two-cycle Retry properties checkable per transition.
+part makes the two-cycle Retry properties checkable per transition.  The
+signal part is carried *packed*, one byte per channel in netlist channel
+order (see :mod:`repro.verif.encoding`); decode a state's signals with
+:meth:`ExplorationResult.signals_of` when a friendly view is needed.
+
+Exploration engines
+-------------------
+
+``lanes=1`` (default) — classic breadth-first search: one scalar
+fix-point (``engine=`` selects worklist / naive / one-lane batch) per
+explored ``(state, choice-vector)`` transition.
+
+``lanes=N`` — the lane-batched frontier engine.  Every successor
+expansion of a BFS frontier is same-topology by construction, differing
+only in dynamic state and environment choices, so the explorer packs N
+pending ``(snapshot, choice-vector)`` expansions into the lanes of one
+:class:`~repro.sim.batch.BatchSimulator` pass: snapshots are scattered
+into the lanes (:meth:`~repro.sim.batch.BatchSimulator.restore_lane_states`),
+one shared bit-packed fix-point advances all of them
+(:meth:`~repro.sim.batch.BatchSimulator.step_with_lane_choices`), and each
+lane's successor snapshot / signals are gathered back out.  Expansions are
+drained in exactly the scalar BFS order, so the batched engine is
+*bit-identical* to the scalar one — same state indices, transition list,
+violations and verdicts — which the differential exploration tests pin.
+
+Either way the dedup index is keyed by the canonical compact byte
+encoding of :mod:`repro.verif.encoding` (hash-consed by the index dict),
+and the returned :class:`ExplorationResult` carries a prebuilt adjacency
+index (:meth:`ExplorationResult.successors` /
+:meth:`ExplorationResult.predecessors`) that the deadlock and leads-to
+analyses traverse instead of re-scanning the flat transition list.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 
+from repro.elastic.node import Node
 from repro.errors import VerificationError
 from repro.sim.engine import Simulator
-from repro.verif.properties import check_invariant, check_retry, retry_exempt_channels
+from repro.verif.encoding import StateCodec, unpack_signals
+from repro.verif.properties import (
+    check_invariant_packed,
+    check_retry_packed,
+    retry_exempt_channels,
+)
 
 
 @dataclass
@@ -36,19 +73,80 @@ class Transition:
 
 @dataclass
 class ExplorationResult:
-    """The reachable state graph plus property verdicts."""
+    """The reachable state graph plus property verdicts.
+
+    States are indexed in breadth-first discovery order (index 0 is the
+    initial state), so the first path found to any state is shortest.
+    Each state is ``(snapshot, packed_signals)`` where ``packed_signals``
+    is the one-byte-per-channel encoding of the cycle that produced it
+    (``None`` for the initial state); :meth:`signals_of` decodes it.
+    """
 
     states: list = field(default_factory=list)        # index -> state
     transitions: list = field(default_factory=list)   # Transition records
     violations: list = field(default_factory=list)    # protocol problems
     complete: bool = True                              # hit no state cap
+    channel_names: list = field(default_factory=list)  # packed-signal order
+
+    # lazily built adjacency index (invalidated when the graph grows)
+    _succ: list = field(default=None, init=False, repr=False, compare=False)
+    _pred: list = field(default=None, init=False, repr=False, compare=False)
+    _indexed: int = field(default=-1, init=False, repr=False, compare=False)
 
     @property
     def n_states(self):
         return len(self.states)
 
+    def _ensure_adjacency(self):
+        if (self._succ is not None and self._indexed == len(self.transitions)
+                and len(self._succ) == len(self.states)):
+            return
+        succ = [[] for _ in self.states]
+        pred = [[] for _ in self.states]
+        for t in self.transitions:
+            succ[t.source].append(t)
+            pred[t.target].append(t)
+        self._succ = succ
+        self._pred = pred
+        self._indexed = len(self.transitions)
+
     def successors(self, index):
-        return [t for t in self.transitions if t.source == index]
+        """Outgoing :class:`Transition` records of one state — O(out-degree)
+        via the prebuilt adjacency index (the old implementation scanned
+        every transition).  Returns a fresh list; mutating it does not
+        touch the index."""
+        self._ensure_adjacency()
+        return list(self._succ[index])
+
+    def predecessors(self, index):
+        """Incoming :class:`Transition` records of one state (counterexample
+        reconstruction walks these back to the initial state).  Returns a
+        fresh list; mutating it does not touch the index."""
+        self._ensure_adjacency()
+        return list(self._pred[index])
+
+    def signals_of(self, index):
+        """Friendly ``{channel: (vp, sp, vm, sm)}`` view of one state's
+        packed signals (``None`` for the initial state)."""
+        packed = self.states[index][1]
+        if packed is None:
+            return None
+        return unpack_signals(packed, self.channel_names)
+
+    def channel_index(self, name):
+        """Position of ``name`` in the packed-signal byte vectors."""
+        return self.channel_names.index(name)
+
+    def shortest_path_to(self, index):
+        """State indices of a shortest path from the initial state to
+        ``index``.  Because states are discovered breadth-first, walking
+        any predecessor with a smaller index terminates and is shortest."""
+        path = [index]
+        while path[-1] != 0:
+            best = min(t.source for t in self.predecessors(path[-1]))
+            path.append(best)
+        path.reverse()
+        return path
 
     def ok(self):
         return self.complete and not self.violations
@@ -57,94 +155,225 @@ class ExplorationResult:
 class StateExplorer:
     """Breadth-first reachability over environment/scheduler choices.
 
-    ``engine`` selects the fix-point engine (worklist by default): the
-    explorer pays one fix-point per explored transition, so the worklist
-    engine speeds up whole model-checking runs.
+    ``engine`` selects the scalar fix-point engine (worklist by default):
+    the explorer pays one fix-point per explored transition, so the
+    worklist engine speeds up whole model-checking runs.  ``lanes=N``
+    switches to the lane-batched frontier engine instead, expanding N
+    pending transitions per bit-packed fix-point pass (``engine`` must
+    then be left at ``None`` — the batch engine is implied).
     """
 
     def __init__(self, netlist, max_states=20000, check_protocol=True,
-                 engine=None):
+                 engine=None, lanes=1):
         self.netlist = netlist
         self.max_states = max_states
         self.check_protocol = check_protocol
+        lanes = int(lanes)
+        if lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {lanes}")
+        if lanes > 1 and engine not in (None, "batch"):
+            raise ValueError(
+                f"lanes={lanes} implies the batch engine; "
+                f"got engine={engine!r}"
+            )
+        self.lanes = lanes
         # The simulator's own online monitor is disabled: exploration jumps
         # between branches, so two-cycle properties are checked explicitly
         # against the state-embedded previous signals.
-        self.sim = Simulator(netlist, check_protocol=False, engine=engine)
-        self.retry_exempt = retry_exempt_channels(netlist)
+        self.sim = None
+        self._batch = None
+        if lanes == 1:
+            self.sim = Simulator(netlist, check_protocol=False, engine=engine)
+        else:
+            from repro.sim.batch import BatchSimulator
 
-    def _signals(self):
-        return {
-            name: (
-                bool(ch.state.vp), bool(ch.state.sp),
-                bool(ch.state.vm), bool(ch.state.sm),
+            netlist.validate()
+            # One same-topology clone per lane; the original netlist stays
+            # un-owned and serves as the probe for per-state choice-space
+            # enumeration (restore + choice_space only, never stepped).
+            self._batch = BatchSimulator(
+                [netlist.clone() for _ in range(lanes)],
+                check_protocol=False,
             )
-            for name, ch in self.netlist.channels.items()
-        }
+        self.retry_exempt = retry_exempt_channels(netlist)
+        self._codec = StateCodec(netlist)
+        self._channel_names = self._codec.channel_names
+        self._exempt_indices = frozenset(
+            i for i, name in enumerate(self._channel_names)
+            if name in self.retry_exempt
+        )
+        # Bound channel-state list for the scalar packed-signal gather
+        # (structure is fixed for the lifetime of an exploration).
+        self._channel_states = [
+            ch.state for ch in netlist.channels.values()
+        ]
+        # The choice-*node* set is static per netlist (their per-state
+        # choice spaces still vary — persistence pins an offering source
+        # to space 1, say), so it is computed once instead of per state.
+        self._choice_nodes = [
+            node for node in netlist.nodes.values()
+            if type(node).choice_space is not Node.choice_space
+        ]
+
+    def _packed_signals(self):
+        """One byte per channel of the netlist's resolved control signals
+        (the scalar-engine gather; the batch engine packs from its
+        bit-planes)."""
+        packed = bytearray(len(self._channel_states))
+        for i, st in enumerate(self._channel_states):
+            b = 1 if st.vp else 0
+            if st.sp:
+                b |= 2
+            if st.vm:
+                b |= 4
+            if st.sm:
+                b |= 8
+            packed[i] = b
+        return bytes(packed)
 
     def _choice_vectors(self):
-        nodes = [
-            node for node in self.netlist.nodes.values() if node.choice_space() > 1
-        ]
+        """Choice vectors valid in the netlist's *current* state.
+
+        The per-node spaces are read when the generator starts, so the
+        caller must have the state of interest restored at that point;
+        iteration after that is state-independent.
+        """
+        nodes = [n for n in self._choice_nodes if n.choice_space() > 1]
         spaces = [range(node.choice_space()) for node in nodes]
         names = [node.name for node in nodes]
         for combo in itertools.product(*spaces):
             yield dict(zip(names, combo))
 
+    def _key(self, snapshot, signals):
+        """Compact dedup-index key of a state (tuple fallback when a
+        snapshot value defeats the canonical byte encoding)."""
+        key = self._codec.encode(snapshot, signals)
+        if key is None:
+            return (snapshot, signals)
+        return key
+
+    def _record(self, result, index, frontier, current, prev_signals,
+                choices, events, signals, successor_snapshot):
+        """Shared per-transition bookkeeping of both engines: protocol
+        checks, state dedup (cap-aware) and the transition record.
+        ``signals`` / ``prev_signals`` are packed byte vectors."""
+        if self.check_protocol:
+            problems = check_invariant_packed(signals, self._channel_names)
+            if prev_signals is not None:
+                problems += check_retry_packed(
+                    prev_signals, signals, self._channel_names,
+                    self._exempt_indices,
+                )
+            for problem in problems:
+                result.violations.append(
+                    f"state {current} choices {choices}: {problem}"
+                )
+        key = self._key(successor_snapshot, signals)
+        target = index.get(key)
+        if target is None:
+            if len(result.states) >= self.max_states:
+                # Over the cap: the successor stays unindexed and the
+                # transition is dropped (there is no target id to record),
+                # but expansion continues so transitions into already-
+                # indexed states are still captured.
+                result.complete = False
+                return
+            target = len(result.states)
+            index[key] = target
+            result.states.append((successor_snapshot, signals))
+            frontier.append(target)
+        productive = any(
+            ev.forward or ev.cancel or ev.backward for ev in events.values()
+        )
+        result.transitions.append(
+            Transition(
+                source=current,
+                target=target,
+                choices=choices,
+                events=events,
+                productive=productive,
+            )
+        )
+
     def explore(self):
-        """Run BFS; returns an :class:`ExplorationResult`."""
+        """Run BFS; returns an :class:`ExplorationResult`.
+
+        The frontier is expanded strictly first-in-first-out
+        (:class:`collections.deque`), so state indices are in
+        breadth-first discovery order and counterexamples reconstructed
+        through :meth:`ExplorationResult.predecessors` are shortest-path.
+        """
         self.netlist.reset()
-        initial = (self.netlist.snapshot(), None)
-        index = {initial: 0}
-        result = ExplorationResult(states=[initial])
-        frontier = [0]
-        while frontier:
-            current = frontier.pop()
-            snapshot, prev_signals = result.states[current]
-            # Enumerate choices valid in this state.
-            self.netlist.restore(snapshot)
-            vectors = list(self._choice_vectors())
-            for choices in vectors:
-                self.netlist.restore(snapshot)
-                events = self.sim.step_with_choices(choices)
-                signals = self._signals()
-                if self.check_protocol:
-                    problems = check_invariant(signals)
-                    if prev_signals is not None:
-                        problems += check_retry(
-                            prev_signals, signals, exempt=self.retry_exempt
-                        )
-                    for problem in problems:
-                        result.violations.append(
-                            f"state {current} choices {choices}: {problem}"
-                        )
-                successor_snapshot = self.netlist.snapshot()
-                key = (successor_snapshot, tuple(sorted(signals.items())))
-                if key not in index:
-                    if len(result.states) >= self.max_states:
-                        result.complete = False
-                        continue
-                    index[key] = len(result.states)
-                    result.states.append((successor_snapshot, signals))
-                    frontier.append(index[key])
-                productive = any(
-                    ev.forward or ev.cancel or ev.backward for ev in events.values()
-                )
-                result.transitions.append(
-                    Transition(
-                        source=current,
-                        target=index[key],
-                        choices=choices,
-                        events=events,
-                        productive=productive,
-                    )
-                )
+        initial_snapshot = self.netlist.snapshot()
+        initial = (initial_snapshot, None)
+        index = {self._key(initial_snapshot, None): 0}
+        result = ExplorationResult(states=[initial],
+                                   channel_names=list(self._channel_names))
+        if self._batch is not None:
+            self._explore_batched(result, index)
+        else:
+            self._explore_scalar(result, index)
         return result
 
+    def _explore_scalar(self, result, index):
+        netlist = self.netlist
+        sim = self.sim
+        states = result.states
+        frontier = deque((0,))
+        while frontier:
+            current = frontier.popleft()
+            snapshot, prev_signals = states[current]
+            # One restore serves both the choice-space enumeration and the
+            # first expansion; later vectors re-restore before stepping.
+            netlist.restore(snapshot)
+            restored = True
+            for choices in self._choice_vectors():
+                if not restored:
+                    netlist.restore(snapshot)
+                restored = False
+                events = sim.step_with_choices(choices)
+                signals = self._packed_signals()
+                self._record(result, index, frontier, current, prev_signals,
+                             choices, events, signals, netlist.snapshot())
 
-def explore_or_raise(netlist, max_states=20000, engine=None):
+    def _explore_batched(self, result, index):
+        batch = self._batch
+        lanes = self.lanes
+        netlist = self.netlist       # choice-space probe only, never stepped
+        states = result.states
+        frontier = deque((0,))
+        tasks = deque()
+        while frontier or tasks:
+            # Refill the pending-expansion queue in exactly the scalar BFS
+            # order.  Pre-popping the next frontier states before earlier
+            # results are recorded is safe: the frontier is ordered by
+            # discovery index and new discoveries always index higher.
+            while frontier and len(tasks) < lanes:
+                state_index = frontier.popleft()
+                netlist.restore(states[state_index][0])
+                for choices in self._choice_vectors():
+                    tasks.append((state_index, choices))
+            chunk = [tasks.popleft()
+                     for _ in range(min(lanes, len(tasks)))]
+            # Idle lanes (final partial chunk) replicate the last pending
+            # expansion; their results are discarded.
+            padded = chunk + [chunk[-1]] * (lanes - len(chunk))
+            batch.restore_lane_states([states[s][0] for s, _ in padded])
+            events_by_lane, signals_by_lane = batch.step_with_lane_choices(
+                [choices for _, choices in padded]
+            )
+            for lane, (current, choices) in enumerate(chunk):
+                self._record(result, index, frontier, current,
+                             states[current][1], choices,
+                             events_by_lane[lane],
+                             signals_by_lane[lane],
+                             batch.lane_snapshot(lane))
+
+
+def explore_or_raise(netlist, max_states=20000, engine=None, lanes=1):
     """Convenience wrapper: explore and raise on any protocol violation."""
-    result = StateExplorer(netlist, max_states=max_states, engine=engine).explore()
+    result = StateExplorer(netlist, max_states=max_states, engine=engine,
+                           lanes=lanes).explore()
     if result.violations:
         raise VerificationError(
             f"{len(result.violations)} protocol violation(s); first: "

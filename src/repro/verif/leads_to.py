@@ -23,14 +23,13 @@ from __future__ import annotations
 import networkx as nx
 
 
-def _token_waiting(state_signals, channel):
-    if state_signals is None:
+def _token_waiting(packed_signals, channel_index):
+    if packed_signals is None:
         return False
-    vp, _sp, _vm, _sm = state_signals[channel]
-    return vp
+    return bool(packed_signals[channel_index] & 1)       # VP bit
 
 
-def _released(transition, result, in_channel, out_channel):
+def _released(transition, result, in_channel, out_channel, out_index):
     """Did this transition serve or kill the token waiting on in_channel?"""
     ev_in = transition.events.get(in_channel)
     if ev_in is not None and (ev_in.forward or ev_in.cancel or ev_in.backward):
@@ -43,7 +42,7 @@ def _released(transition, result, in_channel, out_channel):
         # shared output this cycle (the target state's recorded signals are
         # the fix-point values of the transition's cycle).
         signals = result.states[transition.target][1]
-        if signals is not None and signals[out_channel][0]:
+        if signals is not None and signals[out_index] & 1:
             return True
     return False
 
@@ -57,17 +56,24 @@ def check_leads_to(result, in_channel, out_channel=None):
     cycle when ``ok`` is False.
     """
     graph = nx.DiGraph()
-    for t in result.transitions:
-        if _released(t, result, in_channel, out_channel):
+    states = result.states
+    in_index = result.channel_index(in_channel)
+    out_index = (result.channel_index(out_channel)
+                 if out_channel is not None else None)
+    for source in range(result.n_states):
+        # Starvation requires the token to be waiting across the whole
+        # edge; states where it is not waiting are skipped wholesale, and
+        # their out-edges come from the result's prebuilt adjacency index
+        # rather than a scan of the flat transition list.
+        src_signals = states[source][1]
+        if src_signals is not None and not _token_waiting(src_signals, in_index):
             continue
-        src_signals = result.states[t.source][1]
-        dst_signals = result.states[t.target][1]
-        # Starvation requires the token to be waiting across the whole edge.
-        if src_signals is not None and not _token_waiting(src_signals, in_channel):
-            continue
-        if not _token_waiting(dst_signals, in_channel):
-            continue
-        graph.add_edge(t.source, t.target)
+        for t in result.successors(source):
+            if not _token_waiting(states[t.target][1], in_index):
+                continue
+            if _released(t, result, in_channel, out_channel, out_index):
+                continue
+            graph.add_edge(t.source, t.target)
     for component in nx.strongly_connected_components(graph):
         if len(component) > 1:
             return False, sorted(component)

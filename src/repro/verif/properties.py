@@ -5,9 +5,20 @@ These are the Section 3.1 properties in transition-relation form:
 * Invariant — kill and stop mutually exclusive, no stalled cancellation;
 * Retry+ / Retry- — persistence of stalled tokens / anti-tokens, phrased
   over a (previous signals, current signals) pair.
+
+Two equivalent phrasings are provided.  The dict-based
+:func:`check_invariant` / :func:`check_retry` are the readable reference
+form over ``{channel: (vp, sp, vm, sm)}`` mappings.  The explorer's hot
+path uses the ``*_packed`` variants over the compact one-byte-per-channel
+encoding of :mod:`repro.verif.encoding` (bits ``VP | SP<<1 | VM<<2 |
+SM<<3``, channels in netlist order) — same checks, same messages, no
+per-channel tuple unpacking.
 """
 
 from __future__ import annotations
+
+#: bit positions of one packed channel byte (see repro.verif.encoding).
+VP_BIT, SP_BIT, VM_BIT, SM_BIT = 1, 2, 4, 8
 
 
 def check_invariant(signals):
@@ -36,6 +47,35 @@ def check_retry(prev, cur, exempt=()):
             problems.append(f"{name}: stalled token withdrawn (Retry+)")
         if pvm and psm and not pvp and not vm:
             problems.append(f"{name}: stalled anti-token withdrawn (Retry-)")
+    return problems
+
+
+def check_invariant_packed(packed, channel_names):
+    """:func:`check_invariant` over one packed-bytes signal vector
+    (``channel_names`` gives the byte order); returns the same messages."""
+    problems = []
+    for i, b in enumerate(packed):
+        if b & 0b0110 == 0b0110:                  # vm and sp
+            problems.append(f"{channel_names[i]}: V- and S+ both asserted")
+        if b & 0b1101 == 0b1101:                  # vp and vm and sm
+            problems.append(f"{channel_names[i]}: cancellation with S- asserted")
+    return problems
+
+
+def check_retry_packed(prev, cur, channel_names, exempt_indices=frozenset()):
+    """:func:`check_retry` over packed-bytes signal vectors.
+
+    ``exempt_indices`` holds channel *positions* (into ``channel_names``)
+    exempt from Retry+; returns the same messages as the dict form.
+    """
+    problems = []
+    for i, p in enumerate(prev):
+        c = cur[i]
+        if (p & 0b0111 == 0b0011 and not c & 0b0001
+                and i not in exempt_indices):     # vp & sp & ~vm held, vp dropped
+            problems.append(f"{channel_names[i]}: stalled token withdrawn (Retry+)")
+        if p & 0b1101 == 0b1100 and not c & 0b0100:   # vm & sm & ~vp held, vm dropped
+            problems.append(f"{channel_names[i]}: stalled anti-token withdrawn (Retry-)")
     return problems
 
 

@@ -44,6 +44,20 @@ class TestCli:
         assert "OK" in out
         assert "starves as predicted" in out
 
+    @pytest.mark.slow
+    def test_verify_lane_batched(self, capsys):
+        assert main(["verify", "--max-states", "60000", "--lanes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "lane-batched x8" in out
+        assert "OK" in out
+        assert "starves as predicted" in out
+        assert "FAIL" not in out
+
+    def test_verify_lanes_reject_scalar_engine(self, capsys):
+        assert main(["--engine", "naive", "verify", "--lanes", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "lane-batched" in err
+
     def test_sweep_serial(self, tmp_path, capsys):
         out_json = tmp_path / "sweep.json"
         assert main(["sweep", "--grid", "fig1", "--cycles", "60",

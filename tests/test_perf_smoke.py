@@ -184,3 +184,68 @@ def test_incremental_patching_beats_rebuild():
         f"{speedup:.2f}x, required {threshold:.2f}x "
         f"(recorded benchmark: {recorded})"
     )
+
+
+# -- lane-batched exploration smoke (ISSUE 5) ----------------------------------
+
+#: minimum acceptable quick-measurement exploration speedup (the recorded
+#: benchmark rate is ~2.3x on the reference runner; the quick measurement
+#: runs a shallower design capped at 1200 states, so its intrinsic ratio
+#: is a little lower and noisier).
+EXPLORE_FLOOR = 1.25
+
+#: fraction of the recorded bench speedup the quick measurement must reach.
+EXPLORE_RECORDED_FRACTION = 0.55
+
+
+def _measure_explore_speedup():
+    """A shrunk version of ``benchmarks/bench_explore.py``: the speculative
+    composition with a 2-stage ZBL chain and killing sink, explored to a
+    1200-state cap, scalar vs 16-lane — with bit-identity asserted."""
+    import time
+
+    from repro.core.scheduler import ToggleScheduler
+    from repro.netlist import patterns
+    from repro.verif.explore import StateExplorer
+
+    def design():
+        return patterns.speculative_mc(
+            ToggleScheduler(2), n_zbl=2, can_kill_sink=True)[0]
+
+    start = time.perf_counter()
+    scalar = StateExplorer(design(), max_states=1200).explore()
+    scalar_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    batched = StateExplorer(design(), max_states=1200, lanes=16).explore()
+    batched_seconds = time.perf_counter() - start
+    # Correctness first — a fast wrong answer is not a speedup.
+    assert scalar.states == batched.states
+    assert scalar.transitions == batched.transitions
+    assert scalar.violations == batched.violations
+    assert scalar.complete == batched.complete
+    return scalar_seconds / batched_seconds
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PERF_SMOKE") == "1",
+    reason="perf smoke disabled via REPRO_SKIP_PERF_SMOKE",
+)
+def test_lane_batched_exploration_beats_scalar():
+    threshold = EXPLORE_FLOOR
+    recorded = _recorded(
+        os.path.join(_RESULTS_DIR, "BENCH_explore.json"),
+        "explore_batching", "speedup",
+    )
+    if recorded is not None and recorded >= 2.0:
+        threshold = max(threshold, EXPLORE_RECORDED_FRACTION * recorded)
+    speedup = _measure_explore_speedup()
+    if speedup < threshold:
+        # One retry damps scheduler-noise flakes on loaded runners; a real
+        # regression (e.g. the frontier engine silently degrading to one
+        # scalar fix-point per transition) fails both measurements.
+        speedup = max(speedup, _measure_explore_speedup())
+    assert speedup >= threshold, (
+        f"lane-batched exploration speedup regressed: measured "
+        f"{speedup:.2f}x, required {threshold:.2f}x "
+        f"(recorded benchmark: {recorded})"
+    )

@@ -15,6 +15,7 @@ from repro.elastic.buffers import ElasticBuffer, ZeroBackwardLatencyBuffer
 from repro.elastic.eemux import EarlyEvalMux
 from repro.elastic.environment import NondetSink, NondetSource
 from repro.elastic.functional import Func
+from repro.netlist import patterns
 from repro.netlist.graph import Netlist
 from repro.verif.deadlock import assert_deadlock_free, find_deadlocks
 from repro.verif.explore import StateExplorer, explore_or_raise
@@ -68,57 +69,10 @@ class TestElasticBufferCompliance:
 
 def shared_mux_mc_net(scheduler):
     """Nondet sources -> shared module -> EE mux -> nondet (non-killing)
-    sink, with a nondet select source: the Section 4.2 composition."""
-    net = Netlist("mc")
-    net.add(NondetSource("a"))
-    net.add(NondetSource("b"))
-    net.add(_BinarySelectSource("sel"))
-    net.add(SharedModule("sh", lambda x: x, scheduler, n_channels=2))
-    net.add(EarlyEvalMux("mux", n_inputs=2))
-    net.add(NondetSink("snk"))
-    net.connect("a.o", "sh.i0", name="fin0")
-    net.connect("b.o", "sh.i1", name="fin1")
-    net.connect("sh.o0", "mux.i0", name="fout0")
-    net.connect("sh.o1", "mux.i1", name="fout1")
-    net.connect("sel.o", "mux.s", name="cs")
-    net.connect("mux.o", "snk.i", name="out")
-    net.validate()
+    sink, with a nondet select source: the Section 4.2 composition (the
+    shared :func:`repro.netlist.patterns.speculative_mc` builder)."""
+    net, _names = patterns.speculative_mc(scheduler)
     return net
-
-
-class _BinarySelectSource(NondetSource):
-    """Nondet source emitting 0/1 select tokens (choice picks idle/0/1)."""
-
-    def choice_space(self):
-        return 1 if self._offering else 3
-
-    def pre_cycle(self):
-        if not self._offering and self._choice in (1, 2):
-            self._offering = True
-            self._value = self._choice - 1
-
-    def comb(self):
-        changed = self.drive("o", "vp", self._offering)
-        if self._offering:
-            changed |= self.drive("o", "data", self._value)
-        changed |= self.drive("o", "sm", False)
-        return changed
-
-    def reset(self):
-        super().reset()
-        self._value = 0
-
-    def tick(self):
-        ost = self.st("o")
-        if ost.vp and not ost.sp:
-            self._offering = False
-            self.emitted += 1
-
-    def snapshot(self):
-        return (self._offering, self._value)
-
-    def restore(self, state):
-        self._offering, self._value = state
 
 
 class TestSpeculationCompliance:
@@ -193,3 +147,147 @@ class _NeverSource(NondetSource):
 
     def pre_cycle(self):
         pass
+
+
+class TestBreadthFirstOrder:
+    """Regression for the PR 5 search-order fix: the docstring always said
+    BFS but the frontier popped LIFO (depth-first), so counterexamples
+    could be arbitrarily long."""
+
+    @staticmethod
+    def _discovery_depths(result):
+        """Depth of each state along its discovery transition (transitions
+        are recorded in expansion order, so the first one reaching a state
+        is the discovering one)."""
+        depth = [None] * result.n_states
+        depth[0] = 0
+        for t in result.transitions:
+            if depth[t.target] is None:
+                depth[t.target] = depth[t.source] + 1
+        return depth
+
+    def test_states_indexed_in_breadth_first_layers(self):
+        net = eb_under_nondet(lambda: ElasticBuffer("eb"))
+        result = StateExplorer(net, max_states=5000).explore()
+        depths = self._discovery_depths(result)
+        assert None not in depths
+        # Breadth-first <=> discovery index order never decreases in depth
+        # (a LIFO frontier interleaves deep and shallow discoveries).
+        assert depths == sorted(depths)
+
+    def test_shortest_path_matches_bfs_depth(self):
+        net = eb_under_nondet(lambda: ZeroBackwardLatencyBuffer("eb"))
+        result = StateExplorer(net, max_states=5000).explore()
+        depths = self._discovery_depths(result)
+        for index in (1, result.n_states // 2, result.n_states - 1):
+            path = result.shortest_path_to(index)
+            assert path[0] == 0 and path[-1] == index
+            assert len(path) == depths[index] + 1
+
+
+class TestAdjacencyIndex:
+    def test_successors_predecessors_match_linear_scan(self):
+        net = eb_under_nondet(lambda: ElasticBuffer("eb"))
+        result = StateExplorer(net, max_states=5000).explore()
+        for index in range(result.n_states):
+            assert result.successors(index) == [
+                t for t in result.transitions if t.source == index
+            ]
+            assert result.predecessors(index) == [
+                t for t in result.transitions if t.target == index
+            ]
+
+    def test_index_rebuilds_after_graph_growth(self):
+        from repro.verif.explore import ExplorationResult, Transition
+
+        result = ExplorationResult(states=[(None, None), (None, None)])
+        result.transitions.append(Transition(0, 1, {}, {}, True))
+        assert len(result.successors(0)) == 1
+        result.transitions.append(Transition(0, 1, {}, {}, False))
+        assert len(result.successors(0)) == 2      # lazily rebuilt
+
+    def test_signals_decode(self):
+        net = eb_under_nondet(lambda: ElasticBuffer("eb"))
+        result = StateExplorer(net, max_states=5000).explore()
+        assert result.signals_of(0) is None        # initial state
+        decoded = result.signals_of(1)
+        assert set(decoded) == set(net.channels)
+        for quad in decoded.values():
+            assert len(quad) == 4
+            assert all(isinstance(b, bool) for b in quad)
+
+
+class TestMaxStatesCap:
+    CAP = 20
+
+    def _net(self):
+        return eb_under_nondet(lambda: ElasticBuffer("eb"))
+
+    def test_cap_keeps_transitions_between_indexed_states(self):
+        """Hitting the cap stops *indexing* new states but not expansion:
+        every transition between already-indexed states must still be
+        recorded, exactly as in the uncapped run's first CAP states."""
+        full = StateExplorer(self._net(), max_states=5000).explore()
+        capped = StateExplorer(self._net(), max_states=self.CAP).explore()
+        assert capped.complete is False
+        assert capped.n_states == self.CAP
+        assert all(t.target < self.CAP for t in capped.transitions)
+        def edges(result):
+            return sorted(
+                (t.source, t.target, tuple(sorted(t.choices.items())))
+                for t in result.transitions
+                if t.source < self.CAP and t.target < self.CAP
+            )
+        assert edges(capped) == edges(full)
+        # The cap was genuinely hit after further expansions: some indexed
+        # state past the first one still recorded outgoing transitions.
+        assert max(t.source for t in capped.transitions) > 0
+
+    def test_explore_or_raise_propagates_incomplete(self):
+        import pytest as _pytest
+        from repro.errors import VerificationError
+
+        with _pytest.raises(VerificationError, match="exceeded cap"):
+            explore_or_raise(self._net(), max_states=self.CAP)
+
+    def test_capped_graph_identical_scalar_vs_batched(self):
+        scalar = StateExplorer(self._net(), max_states=self.CAP).explore()
+        batched = StateExplorer(self._net(), max_states=self.CAP,
+                                lanes=4).explore()
+        assert scalar.states == batched.states
+        assert scalar.transitions == batched.transitions
+        assert scalar.complete == batched.complete is False
+
+
+class TestStateCodec:
+    def test_equal_states_equal_keys(self):
+        from repro.verif.encoding import StateCodec, pack_signals
+
+        net = eb_under_nondet(lambda: ElasticBuffer("eb"))
+        codec = StateCodec(net)
+        net.reset()
+        snap_a = net.snapshot()
+        snap_b = net.snapshot()
+        sig = pack_signals(
+            {name: (True, False, False, False) for name in net.channels},
+            codec.channel_names,
+        )
+        assert codec.encode(snap_a, sig) == codec.encode(snap_b, sig)
+        assert codec.encode(snap_a, sig) != codec.encode(snap_a, None)
+
+    def test_pack_unpack_roundtrip(self):
+        from repro.verif.encoding import pack_signals, unpack_signals
+
+        names = ["x", "y", "z"]
+        signals = {"x": (True, False, True, False),
+                   "y": (False, False, False, True),
+                   "z": (True, True, False, False)}
+        assert unpack_signals(pack_signals(signals, names), names) == signals
+
+    def test_unencodable_snapshot_falls_back(self):
+        from repro.verif.encoding import StateCodec
+
+        net = eb_under_nondet(lambda: ElasticBuffer("eb"))
+        codec = StateCodec(net)
+        weird = (("node", (object(),)),)        # not marshal-serializable
+        assert codec.encode(weird, None) is None
