@@ -1,0 +1,143 @@
+"""E10 — resilience overhead and recovery cost (``repro.runtime``).
+
+Measures what fault tolerance costs when nothing goes wrong and what
+recovery costs when everything does:
+
+* **checkpoint overhead** — the fig6 grid swept serially with and without
+  ``checkpoint=`` (one atomic checksummed write per configuration); the
+  overhead of durability must stay under 50% on this write-heavy worst
+  case (real sweeps checkpoint far less often than they simulate).
+* **recovery cost** — the same grid with a seeded fault schedule crashing
+  a quarter of the configurations (each retried once) versus the clean
+  run; recovered results are asserted byte-identical, and the wall-clock
+  ratio is recorded for the trajectory.
+* **resume win** — a checkpointed sweep interrupted half-way and resumed:
+  the resumed half must cost visibly less than the full run, which is the
+  whole point of checkpointing.
+
+All numbers land in ``results/BENCH_runtime.json`` via the shared
+``merge_json`` (whose own crash-safety — atomic read-merge-replace — is
+regression-tested here too: an injected failure between the temp-file
+write and the rename must leave the accumulated file intact).
+"""
+
+import json
+import os
+
+import pytest
+
+from conftest import RESULTS_DIR, merge_json, write_result
+
+from repro.perf.presets import fig6_spec
+from repro.perf.sweep import run_sweep
+from repro.runtime.faults import Fault, FaultPlan
+
+CYCLES = 300
+
+
+def _spec():
+    return fig6_spec(cycles=CYCLES)
+
+
+def test_runtime_resilience_costs(tmp_path):
+    clean = run_sweep(_spec())
+    n_configs = len(clean.rows)
+
+    # -- checkpoint overhead (durability on the happy path) -----------------
+    ck = str(tmp_path / "sweep.ckpt")
+    checkpointed = run_sweep(_spec(), checkpoint=ck)
+    assert checkpointed.to_json() == clean.to_json()
+    overhead = checkpointed.elapsed_seconds / clean.elapsed_seconds - 1.0
+
+    # -- recovery cost (seeded crash schedule, retried) ---------------------
+    plan = FaultPlan.seeded(29, "sweep_config", range(n_configs),
+                            kinds=("crash", "raise"), rate=0.25)
+    assert plan.faults, "seed 29 must schedule at least one fault"
+    recovered = run_sweep(_spec(), retries=1, backoff=0.0, fault_plan=plan)
+    assert recovered.ok()
+    assert recovered.to_json() == clean.to_json()
+    recovery_ratio = recovered.elapsed_seconds / clean.elapsed_seconds
+
+    # -- resume win (interrupt half-way, resume the rest) -------------------
+    ck2 = str(tmp_path / "resume.ckpt")
+    half = n_configs // 2
+    with pytest.raises(KeyboardInterrupt):
+        run_sweep(_spec(), checkpoint=ck2,
+                  fault_plan=FaultPlan([Fault("sweep_config", half,
+                                              kind="sigint")]))
+    resumed = run_sweep(_spec(), checkpoint=ck2)
+    assert resumed.to_json() == clean.to_json()
+    resume_fraction = resumed.elapsed_seconds / clean.elapsed_seconds
+
+    merge_json("BENCH_runtime.json", {
+        "grid": _spec().name,
+        "n_configs": n_configs,
+        "cycles_per_config": CYCLES,
+        "wall_seconds": {
+            "clean": clean.elapsed_seconds,
+            "checkpointed": checkpointed.elapsed_seconds,
+            "recovered": recovered.elapsed_seconds,
+            "resumed_half": resumed.elapsed_seconds,
+        },
+        "checkpoint_overhead": overhead,
+        "recovery_ratio": recovery_ratio,
+        "resume_fraction": resume_fraction,
+        "n_faults_injected": len(plan.faults),
+        "n_retries": recovered.stats.retries,
+    })
+    write_result(
+        "runtime_resilience.txt",
+        f"fig6 grid: {n_configs} configurations x {CYCLES} cycles, serial\n"
+        f"  clean:                 {clean.elapsed_seconds:6.2f}s\n"
+        f"  checkpointed:          {checkpointed.elapsed_seconds:6.2f}s "
+        f"({overhead * 100:+.1f}% durability overhead)\n"
+        f"  recovered ({len(plan.faults)} faults): "
+        f"{recovered.elapsed_seconds:9.2f}s "
+        f"({recovery_ratio:.2f}x, byte-identical)\n"
+        f"  resumed (half done):   {resumed.elapsed_seconds:6.2f}s "
+        f"({resume_fraction:.2f}x of a full run)",
+    )
+    # Durability must stay cheap even on this checkpoint-per-config worst
+    # case, and resuming half a sweep must beat re-running all of it.
+    assert overhead < 0.5
+    assert resume_fraction < 0.9
+
+
+def test_merge_json_survives_crash_between_write_and_rename(monkeypatch):
+    """Regression (this PR): ``merge_json`` used a plain truncating
+    ``open(path, "w")`` — a crash mid-write lost every previously
+    accumulated trajectory field.  Now the write is atomic: an injected
+    failure between the temp-file write and the rename must leave the
+    accumulated file byte-identical and leave no temp litter in
+    ``results/``."""
+    name = "BENCH_atomicity_regression.json"
+    path = os.path.join(RESULTS_DIR, name)
+    try:
+        merge_json(name, {"pr6": {"before": 1}})
+        with open(path, "rb") as fh:
+            before = fh.read()
+        survivors = set(os.listdir(RESULTS_DIR))
+
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            if os.path.abspath(dst) == os.path.abspath(path):
+                raise OSError("injected crash between write and rename")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="injected crash"):
+            merge_json(name, {"pr6": {"after": 2}})
+        monkeypatch.undo()
+
+        with open(path, "rb") as fh:
+            assert fh.read() == before
+        assert set(os.listdir(RESULTS_DIR)) == survivors
+
+        # ...and once the failure clears, the merge still accumulates.
+        merge_json(name, {"pr6": {"after": 2}})
+        with open(path) as fh:
+            assert json.load(fh) == {"pr6": {"before": 1, "after": 2}}
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)

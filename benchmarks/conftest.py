@@ -3,10 +3,17 @@
 Every bench regenerates one paper artifact (table or figure), asserts the
 headline claim, writes the rendered table to ``benchmarks/results/`` and
 times its central simulation with pytest-benchmark.
+
+All writers are atomic (temp file + ``os.replace`` via
+:func:`repro.runtime.checkpoint.atomic_write_text`): a crash or interrupt
+mid-write leaves the previous ``BENCH_*.json`` intact instead of a torn
+half-file that would silently drop the perf trajectory other PRs recorded.
 """
 
 import json
 import os
+
+from repro.runtime.checkpoint import atomic_write_text
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -15,8 +22,7 @@ def write_result(name, text):
     """Persist a regenerated table; returns the path."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, name)
-    with open(path, "w") as fh:
-        fh.write(text if text.endswith("\n") else text + "\n")
+    atomic_write_text(path, text if text.endswith("\n") else text + "\n")
     return path
 
 
@@ -25,9 +31,7 @@ def write_json(name, payload):
     PRs); returns the path."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, name)
-    with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 
@@ -36,7 +40,9 @@ def merge_json(name, payload):
     fields other tests (or earlier PRs) recorded — the ROADMAP's perf
     trajectory extends one file per topic rather than inventing new
     formats.  Top-level dict values are merged key-wise; everything else
-    is replaced.  Returns the path."""
+    is replaced.  The read-merge-replace is atomic on the write side, so
+    an interrupted merge never corrupts the accumulated file.  Returns the
+    path."""
     path = os.path.join(RESULTS_DIR, name)
     merged = {}
     if os.path.exists(path):

@@ -20,6 +20,12 @@ batch engine bit-packs N sweep configurations per fix-point pass
 (``sweep --lanes N`` groups same-topology configurations into batches
 inside each worker).
 
+Long-running subcommands are resilient: ``sweep`` and ``verify`` accept
+``--checkpoint`` / ``--timeout`` / ``--retries`` (supervised workers with
+kill-and-respawn, atomic checksummed checkpoints, resume after a crash or
+Ctrl-C — see :mod:`repro.runtime`), and an interrupt exits with the
+conventional status 130 after flushing the last consistent checkpoint.
+
 Each subcommand prints the same tables the benchmarks regenerate, so the
 paper's results are reproducible without pytest.
 """
@@ -148,10 +154,36 @@ def _cmd_verify(args):
         print(f"error: --engine {args.engine} is a scalar engine; "
               "--lanes implies the lane-batched explorer", file=sys.stderr)
         return 2
+    if args.checkpoint:
+        os.makedirs(args.checkpoint, exist_ok=True)
 
     failures = 0
 
-    def check_buffer(make, label):
+    def explore(net, slug):
+        """One (possibly checkpointed, possibly time-sliced) exploration:
+        ``--timeout`` bounds each slice's wall clock, ``--retries`` allows
+        that many further slices, each resuming the checkpoint where the
+        previous one stopped."""
+        ckpt = (os.path.join(args.checkpoint, f"{slug}.ckpt")
+                if args.checkpoint else None)
+        slices = 0
+        while True:
+            result = StateExplorer(net, max_states=args.max_states,
+                                   lanes=args.lanes, checkpoint=ckpt,
+                                   time_budget=args.timeout).explore()
+            if result.stopped is None or slices >= args.retries:
+                return result
+            slices += 1
+
+    def report_stopped(label, result):
+        nonlocal failures
+        failures += 1
+        where = ("resumable via --checkpoint" if args.checkpoint
+                 else "partial progress lost (no --checkpoint)")
+        print(f"  {label:<26} states={result.n_states:<6} "
+              f"-> STOPPED ({result.stopped}; {where})")
+
+    def check_buffer(make, label, slug):
         nonlocal failures
         net = Netlist("mc")
         node = net.add(make())
@@ -159,8 +191,10 @@ def _cmd_verify(args):
         net.add(NondetSink("snk", can_kill=True))
         net.connect("src.o", (node.name, "i"), name="in")
         net.connect((node.name, "o"), "snk.i", name="out")
-        result = StateExplorer(net, max_states=args.max_states,
-                               lanes=args.lanes).explore()
+        result = explore(net, slug)
+        if result.stopped is not None:
+            report_stopped(label, result)
+            return
         deadlocks = find_deadlocks(result)
         ok = not result.violations and not deadlocks and result.complete
         failures += not ok
@@ -172,17 +206,21 @@ def _cmd_verify(args):
                     else "scalar")
     print(f"exploration engine: {engine_label}")
     print("elastic buffers under nondeterministic environments:")
-    check_buffer(lambda: ElasticBuffer("eb"), "standard EB")
-    check_buffer(lambda: ZeroBackwardLatencyBuffer("eb"), "ZBL EB (Fig. 5)")
+    check_buffer(lambda: ElasticBuffer("eb"), "standard EB", "eb")
+    check_buffer(lambda: ZeroBackwardLatencyBuffer("eb"), "ZBL EB (Fig. 5)",
+                 "zbl")
 
     print("speculative composition (shared + EE mux):")
-    for label, scheduler in [("toggle", ToggleScheduler(2)),
-                             ("nondet (any prediction)", NondetScheduler(2)),
-                             ("static w/o repair", StaticScheduler(
-                                 2, favourite=0, repair=False))]:
+    for slug, label, scheduler in [
+            ("toggle", "toggle", ToggleScheduler(2)),
+            ("nondet", "nondet (any prediction)", NondetScheduler(2)),
+            ("static", "static w/o repair", StaticScheduler(
+                2, favourite=0, repair=False))]:
         net, names = patterns.speculative_mc(scheduler)
-        result = StateExplorer(net, max_states=args.max_states,
-                               lanes=args.lanes).explore()
+        result = explore(net, slug)
+        if result.stopped is not None:
+            report_stopped(label, result)
+            continue
         ok0, _ = check_leads_to(result, names["fin0"], names["fout0"])
         ok1, _ = check_leads_to(result, names["fin1"], names["fout1"])
         safe = not result.violations
@@ -240,17 +278,41 @@ def _cmd_sweep(args):
     # not inherit set_default_engine().  The flag is also passed explicitly
     # so an `--engine worklist ... --lanes 4` conflict is rejected instead
     # of silently running the batch engine.
-    result = run_sweep(spec, n_workers=args.workers, lanes=args.lanes,
-                       engine=args.engine)
+    try:
+        result = run_sweep(spec, n_workers=args.workers, lanes=args.lanes,
+                           engine=args.engine, timeout=args.timeout,
+                           retries=args.retries, checkpoint=args.checkpoint)
+    except KeyboardInterrupt:
+        # run_sweep already flushed every completed row to the checkpoint
+        # before re-raising.
+        if args.checkpoint:
+            print(f"\ninterrupted: progress saved to {args.checkpoint}; "
+                  f"re-run with the same --checkpoint to resume",
+                  file=sys.stderr)
+        else:
+            print("\ninterrupted (no --checkpoint; progress lost)",
+                  file=sys.stderr)
+        return 130
     print(result.table())
     print(f"\n{len(result.rows)} configurations in "
           f"{result.elapsed_seconds:.2f}s on {args.workers} worker(s) "
           f"x {result.lanes} lane(s) (engine={result.engine})")
+    stats = result.stats
+    if stats is not None and (stats.retries or stats.respawns
+                              or stats.timeouts or stats.splits):
+        print(f"supervisor: {stats.retries} retries, "
+              f"{stats.respawns} respawns, {stats.timeouts} timeouts, "
+              f"{stats.splits} splits")
+    if result.failures:
+        print(f"\n{len(result.failures)} configuration(s) failed:")
+        for failure in result.failures:
+            print(f"  #{failure.index} {failure.design}: {failure.error} "
+                  f"(after {failure.attempts} attempt(s))")
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(result.to_json() + "\n")
         print(f"wrote {args.json}")
-    return 0
+    return 1 if result.failures else 0
 
 
 def _cmd_explore(args):
@@ -354,6 +416,17 @@ def build_parser():
                    help="frontier expansions batched per fix-point pass "
                         "(lane-batched exploration; implies the batch "
                         "engine)")
+    p.add_argument("--checkpoint", metavar="DIR", default=None,
+                   help="checkpoint directory: each exploration saves its "
+                        "progress atomically and resumes after a crash or "
+                        "Ctrl-C")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-exploration time budget in seconds; the search "
+                        "stops at a consistent state boundary when spent "
+                        "(flushing the checkpoint, if any)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra time-budget slices per exploration, each "
+                        "resuming where the previous one stopped")
     p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser("export", help="emit Verilog/SMV/dot for a canned design")
@@ -381,6 +454,18 @@ def build_parser():
                    help="override simulated cycles per configuration")
     p.add_argument("--json", metavar="PATH", default=None,
                    help="also write the merged machine-readable report")
+    p.add_argument("--checkpoint", metavar="PATH", default=None,
+                   help="checkpoint file: completed rows are saved "
+                        "atomically and an interrupted sweep resumes "
+                        "where it left off")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-configuration wall-clock seconds before a "
+                        "hung worker is killed and the configuration "
+                        "retried (multiprocessing only)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry budget per configuration before it is "
+                        "reported as a failed row instead of aborting "
+                        "the sweep")
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser(
@@ -412,16 +497,23 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.engine is not None:
-        from repro.sim.engine import get_default_engine, set_default_engine
+    try:
+        if args.engine is not None:
+            from repro.sim.engine import get_default_engine, set_default_engine
 
-        previous = get_default_engine()
-        set_default_engine(args.engine)
-        try:
-            return args.fn(args)
-        finally:
-            set_default_engine(previous)
-    return args.fn(args)
+            previous = get_default_engine()
+            set_default_engine(args.engine)
+            try:
+                return args.fn(args)
+            finally:
+                set_default_engine(previous)
+        return args.fn(args)
+    except KeyboardInterrupt:
+        # Checkpointing commands flushed their last consistent boundary
+        # before the interrupt propagated this far (and `sweep` returns
+        # 130 itself, with a resume hint); conventional 128+SIGINT.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -68,3 +68,11 @@ class SchedulerError(ElasticError):
 
 class BackendError(ElasticError):
     """A back-end (Verilog / SMV / BLIF) could not emit the given design."""
+
+
+class CheckpointError(ElasticError):
+    """A checkpoint file could not be trusted: missing header, checksum
+    mismatch (truncated or corrupted body), wrong kind, or a content-address
+    key that does not match the job trying to resume from it.  Raised by
+    :mod:`repro.runtime.checkpoint` — a corrupt checkpoint is always a loud,
+    structured error, never silently loaded."""

@@ -33,6 +33,37 @@ to a scalar run of that configuration — so the merged rows are identical
 to a ``lanes=1`` sweep except for the recorded ``engine`` (``"batch"``),
 regardless of how configurations landed in groups or workers.
 
+Supervision, retries and checkpointing
+--------------------------------------
+
+``n_workers > 1`` no longer uses a bare ``multiprocessing.Pool``: the
+configurations run under a :class:`~repro.runtime.supervisor.Supervisor`
+that tracks per-chunk liveness, applies a per-configuration wall-clock
+``timeout`` (scaled by chunk size), kills and respawns dead or hung
+workers, and retries failed chunks with exponential backoff up to a
+``retries`` budget.  A multi-configuration chunk that fails is first
+*split* into single-configuration chunks (no retry consumed) so one
+poison configuration cannot take down the batch it shared a worker with;
+a configuration that exhausts its retries becomes a structured
+:class:`FailedRow` in :attr:`SweepResult.failures` instead of an
+exception that loses the whole run (``on_error="raise"`` restores the
+old fail-fast behaviour).  The serial path applies the same retry /
+FailedRow semantics in-process (wall-clock timeouts need a worker to
+kill, so ``timeout`` is only enforced when ``n_workers > 1``).
+
+``checkpoint=PATH`` makes progress durable: after every completed chunk
+the merged successful rows are written atomically (temp file +
+``os.replace``) with a SHA-256 checksum and a content-address key
+derived from the expanded payloads (factory, params, cycles, engine …).
+A rerun with the same spec resumes from the checkpoint — completed
+configurations are not re-measured, previously failed ones are retried —
+and produces a :meth:`SweepResult.to_json` byte-identical to an
+uninterrupted run.  A checkpoint from a *different* sweep (or a corrupt
+file) is a loud :class:`~repro.errors.CheckpointError`, never silently
+loaded.  ``fault_plan`` threads a deterministic
+:class:`~repro.runtime.faults.FaultPlan` into every execution path so
+the recovery machinery itself is differentially testable.
+
 Engine propagation
 ------------------
 
@@ -60,11 +91,15 @@ from __future__ import annotations
 import importlib
 import itertools
 import json
-import multiprocessing
 import time
+import traceback
 from dataclasses import dataclass, field
 
+from repro.errors import ElasticError
 from repro.perf.report import PerfReport, format_report_table, performance_report
+from repro.runtime import faults
+from repro.runtime.checkpoint import content_key, load_checkpoint, save_checkpoint
+from repro.runtime.supervisor import Supervisor, SupervisorStats
 from repro.sim.engine import ENGINES, get_default_engine, set_default_engine
 
 #: Reserved per-point keys interpreted by the runner, not the factory.
@@ -212,6 +247,7 @@ def _run_payload(payload):
     of the run — this is what carries the parent's ``--engine`` choice
     across the spawn boundary.
     """
+    faults.fault_point("sweep_config", payload["index"])
     previous = get_default_engine()
     if payload["engine"] is not None:
         set_default_engine(payload["engine"])
@@ -258,6 +294,7 @@ def _run_chunk(chunk):
             if payload["channel"] is None:
                 rows.append(_run_payload(payload))
                 continue
+            faults.fault_point("sweep_config", payload["index"])
             netlist, channel = _build_payload(payload)
             signature = topology_signature(netlist)
             groups.setdefault(signature, []).append(
@@ -281,6 +318,100 @@ def _run_chunk(chunk):
     return rows
 
 
+def _supervised_chunk(chunk):
+    """Supervisor task runner: install the chunk's fault plan and attempt
+    number for the duration of one execution, then measure the chunk.
+    Runs in spawn workers (resolved as ``repro.perf.sweep:_supervised_chunk``)
+    and in the serial path, so both agree on semantics."""
+    with faults.plan_scope(chunk.get("fault_plan")), \
+            faults.attempt_scope(chunk.get("attempt", 0)):
+        return _run_chunk(chunk)
+
+
+def _split_chunk(chunk):
+    """Supervisor ``split`` hook: break a failed multi-configuration chunk
+    into single-configuration chunks (scalar — a one-payload lane batch is
+    a scalar run anyway, and per-lane results are bit-identical to scalar
+    by the PR 3 pinning) so the poison configuration is isolated without
+    charging the healthy ones a retry."""
+    payloads = chunk["payloads"]
+    if len(payloads) <= 1:
+        return None
+    return [
+        (dict(chunk, payloads=[payload], lanes=1), 1)
+        for payload in payloads
+    ]
+
+
+@dataclass
+class FailedRow:
+    """A configuration that exhausted its retry budget: the structured
+    record that replaces the row it would have produced.  Lives in
+    :attr:`SweepResult.failures`; the successful rows are unaffected."""
+
+    index: int
+    design: str
+    params: dict
+    error: str
+    traceback: str
+    attempts: int
+
+    def to_payload(self):
+        return {
+            "index": self.index,
+            "design": self.design,
+            "params": self.params,
+            "error": self.error,
+            "attempts": self.attempts,
+            "traceback": self.traceback,
+        }
+
+
+class SweepRunError(ElasticError):
+    """Raised by ``run_sweep(..., on_error="raise")`` when any
+    configuration failed; carries the structured :class:`FailedRow`
+    records in :attr:`failures`."""
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        first = self.failures[0]
+        super().__init__(
+            f"{len(self.failures)} configuration(s) failed; first: "
+            f"config {first.index} ({first.design}) after "
+            f"{first.attempts} attempt(s): {first.error}"
+        )
+
+
+def _factory_ref(factory):
+    """Stable textual identity of a sweep factory for content-addressing
+    (importable reference when one exists; module-qualified name
+    otherwise — no object addresses, so the key is process-independent)."""
+    if isinstance(factory, str):
+        return factory
+    module = getattr(factory, "__module__", "?")
+    qualname = getattr(factory, "__qualname__", type(factory).__name__)
+    return f"{module}:{qualname}"
+
+
+def _sweep_key(spec, payloads):
+    """Content-address of one sweep: the expanded payloads (params, cycles,
+    measurement channels, resolved engine) plus the factory identity —
+    everything that determines the rows, nothing that doesn't (worker
+    count, lanes and checkpoint cadence are execution details; their rows
+    are identical by the PR 2/3 pinning)."""
+    identity = {
+        "format": "sweep-v1",
+        "sweep": spec.name,
+        "factory": _factory_ref(spec.factory),
+        "payloads": [
+            {k: payload[k] for k in ("index", "name", "params", "channel",
+                                     "cycles", "warmup", "engine")}
+            for payload in payloads
+        ],
+    }
+    return content_key(json.dumps(identity, sort_keys=True, default=repr))
+
+
 @dataclass
 class SweepResult:
     """Merged sweep outcome: one row per configuration, in spec order.
@@ -298,6 +429,21 @@ class SweepResult:
     rows: list
     elapsed_seconds: float
     lanes: int = 1
+    #: structured :class:`FailedRow` records of configurations that
+    #: exhausted their retry budget (empty on a clean run)
+    failures: list = field(default_factory=list)
+    #: :class:`~repro.runtime.supervisor.SupervisorStats` of the run
+    #: (retries / respawns / timeouts); execution detail, not in the JSON
+    stats: object = None
+
+    def ok(self):
+        return not self.failures
+
+    def raise_for_failures(self):
+        """Raise :class:`SweepRunError` if any configuration failed."""
+        if self.failures:
+            raise SweepRunError(self.failures)
+        return self
 
     @property
     def reports(self):
@@ -330,20 +476,80 @@ class SweepResult:
             "warmup": self.spec.warmup,
             "n_configs": len(self.rows),
             "configs": self.rows,
+            "failures": [failure.to_payload() for failure in self.failures],
         }
 
     def to_json(self):
         return json.dumps(self.to_payload(), indent=2, sort_keys=True)
 
 
-def run_sweep(spec, n_workers=1, engine=None, lanes=1):
-    """Expand ``spec`` and measure every configuration.
+def _make_chunks(payloads, lanes, n_workers, fault_plan):
+    """Cut the pending payloads into supervised work units.
+
+    ``lanes > 1``: contiguous shards keep grid neighbours — usually
+    same-topology — in the same chunk, where they can share a lane batch.
+    ``lanes == 1``: one payload per chunk, so supervision (timeouts,
+    retries, FailedRow) is per-configuration.
+    """
+    if lanes > 1:
+        n_chunks = max(1, min(n_workers, len(payloads)))
+        size = -(-len(payloads) // n_chunks)
+        groups = [payloads[i:i + size] for i in range(0, len(payloads), size)]
+    else:
+        groups = [[payload] for payload in payloads]
+    return [
+        {"payloads": group, "lanes": lanes, "fault_plan": fault_plan}
+        for group in groups
+    ]
+
+
+def _serial_chunk(chunk, retries, backoff, stats, on_rows, failures):
+    """Serial twin of the supervisor's failure routing: run a chunk
+    in-process with the same retry / split / FailedRow semantics (minus
+    wall-clock timeouts, which need a separate process to kill)."""
+    attempt = 0
+    while True:
+        try:
+            rows = _supervised_chunk(dict(chunk, attempt=attempt))
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            payloads = chunk["payloads"]
+            if len(payloads) > 1:
+                stats.splits += 1
+                for payload in payloads:
+                    _serial_chunk(dict(chunk, payloads=[payload], lanes=1),
+                                  retries, backoff, stats, on_rows, failures)
+                return
+            if attempt >= retries:
+                payload = payloads[0]
+                failures.append(FailedRow(
+                    index=payload["index"], design=payload["name"],
+                    params=payload["params"],
+                    error=f"{type(exc).__name__}: {exc}",
+                    traceback=traceback.format_exc(),
+                    attempts=attempt + 1,
+                ))
+                return
+            stats.retries += 1
+            time.sleep(backoff * (2 ** attempt))
+            attempt += 1
+        else:
+            on_rows(rows)
+            return
+
+
+def run_sweep(spec, n_workers=1, engine=None, lanes=1, timeout=None,
+              retries=0, backoff=0.05, checkpoint=None, fault_plan=None,
+              on_error="collect"):
+    """Expand ``spec`` and measure every configuration, supervised.
 
     ``n_workers=1`` runs in-process; ``n_workers>1`` shards the
-    configurations over a ``multiprocessing`` spawn pool (spawn rather
-    than fork for determinism and portability — workers never inherit
-    mutable parent state, only the explicit payload).  Rows are merged in
-    expansion order regardless of completion order.
+    configurations over supervised ``multiprocessing`` spawn workers
+    (spawn rather than fork for determinism and portability — workers
+    never inherit mutable parent state, only the explicit payload).  Rows
+    are merged in expansion order regardless of completion order, worker
+    count or recovery history.
 
     ``engine`` overrides the fix-point engine; otherwise ``spec.engine``,
     then the parent's current default (``get_default_engine()``) is
@@ -358,9 +564,28 @@ def run_sweep(spec, n_workers=1, engine=None, lanes=1):
     ``"batch"`` (per-lane results are bit-identical to every scalar
     engine anyway; the CLI forwards ``--engine`` explicitly so a
     conflicting flag still errors).
+
+    Resilience knobs (see the module docstring for the full story):
+    ``timeout`` — per-configuration wall-clock seconds, enforced by the
+    supervisor when ``n_workers > 1`` (a chunk's deadline scales with its
+    size); ``retries`` / ``backoff`` — per-configuration retry budget and
+    exponential backoff base; ``checkpoint`` — path of an atomic,
+    content-addressed progress file to write and resume from;
+    ``fault_plan`` — a deterministic
+    :class:`~repro.runtime.faults.FaultPlan` for testing the recovery
+    paths; ``on_error`` — ``"collect"`` (default) turns configurations
+    that exhaust their retries into :attr:`SweepResult.failures`,
+    ``"raise"`` raises :class:`SweepRunError` at the end instead.
+
+    On :class:`KeyboardInterrupt` the latest completed rows are already
+    durable in ``checkpoint`` (one atomic write per completed chunk); the
+    interrupt propagates so callers can exit 130.
     """
     if lanes < 1:
         raise ValueError(f"lanes must be >= 1, got {lanes}")
+    if on_error not in ("collect", "raise"):
+        raise ValueError(f"on_error must be 'collect' or 'raise', "
+                         f"got {on_error!r}")
     if lanes > 1:
         resolved_engine = engine or spec.engine or "batch"
         if resolved_engine != "batch":
@@ -388,36 +613,72 @@ def run_sweep(spec, n_workers=1, engine=None, lanes=1):
         }
         for config in configs
     ]
+    key = _sweep_key(spec, payloads) if checkpoint else None
+    done = {}
+    if checkpoint:
+        body = load_checkpoint(checkpoint, "sweep", key)
+        if body is not None:
+            done = {row["index"]: row for row in body["rows"]}
+    remaining = [p for p in payloads if p["index"] not in done]
+
+    def _record_rows(rows):
+        for row in rows:
+            done[row["index"]] = row
+
+    def _save():
+        if checkpoint:
+            save_checkpoint(
+                checkpoint, "sweep", key,
+                {"rows": [done[i] for i in sorted(done)]}, codec="json",
+            )
+
+    failures = []
+    stats = SupervisorStats()
+    chunks = _make_chunks(remaining, lanes, n_workers, fault_plan)
     start = time.perf_counter()
-    if lanes > 1:
-        # Contiguous shards keep grid neighbours — usually same-topology —
-        # in the same worker, where they can share a lane batch.
-        n_chunks = max(1, min(n_workers, len(payloads)))
-        size = -(-len(payloads) // n_chunks)
-        chunks = [
-            {"payloads": payloads[i:i + size], "lanes": lanes}
-            for i in range(0, len(payloads), size)
-        ]
-        if n_workers <= 1:
-            chunk_rows = [_run_chunk(chunk) for chunk in chunks]
+    try:
+        if n_workers <= 1 or not chunks:
+            for chunk in chunks:
+                _serial_chunk(chunk, retries, backoff, stats,
+                              lambda rows: (_record_rows(rows), _save()),
+                              failures)
         else:
-            context = multiprocessing.get_context("spawn")
-            with context.Pool(len(chunks)) as pool:
-                chunk_rows = pool.map(_run_chunk, chunks)
-        rows = [row for chunk in chunk_rows for row in chunk]
-    elif n_workers <= 1:
-        rows = [_run_payload(payload) for payload in payloads]
-    else:
-        context = multiprocessing.get_context("spawn")
-        with context.Pool(min(n_workers, len(payloads))) as pool:
-            rows = pool.map(_run_payload, payloads)
+            supervisor = Supervisor(
+                "repro.perf.sweep:_supervised_chunk",
+                n_workers=n_workers, timeout=timeout, retries=retries,
+                backoff=backoff, split=_split_chunk,
+                on_result=lambda task, rows: (_record_rows(rows), _save()),
+            )
+            _results, task_failures = supervisor.run(
+                chunks, weights=[len(c["payloads"]) for c in chunks]
+            )
+            stats = supervisor.stats
+            for task_failure in task_failures:
+                payload = task_failure.task["payloads"][0]
+                failures.append(FailedRow(
+                    index=payload["index"], design=payload["name"],
+                    params=payload["params"], error=task_failure.error,
+                    traceback=task_failure.traceback,
+                    attempts=task_failure.attempts,
+                ))
+    except KeyboardInterrupt:
+        # Completed rows are already durable (one save per chunk); make
+        # sure the final state is flushed even if interrupted between a
+        # record and its save, then let the interrupt propagate.
+        _save()
+        raise
+    _save()
     elapsed = time.perf_counter() - start
-    rows.sort(key=lambda row: row["index"])
+    failures.sort(key=lambda failure: failure.index)
+    if failures and on_error == "raise":
+        raise SweepRunError(failures)
     return SweepResult(
         spec=spec,
         engine=resolved_engine,
         n_workers=n_workers,
-        rows=rows,
+        rows=[done[i] for i in sorted(done)],
         elapsed_seconds=elapsed,
         lanes=lanes,
+        failures=failures,
+        stats=stats,
     )

@@ -1,0 +1,51 @@
+"""repro.runtime — resilience primitives for long-running jobs.
+
+The compute layer under the design-space sweeps
+(:func:`~repro.perf.sweep.run_sweep`) and the explicit-state explorer
+(:class:`~repro.verif.explore.StateExplorer`): process supervision with
+timeout / retry / respawn (:mod:`~repro.runtime.supervisor`), atomic
+checksummed content-addressed checkpoints
+(:mod:`~repro.runtime.checkpoint`), and a deterministic fault-injection
+harness (:mod:`~repro.runtime.faults`) that makes every recovery path
+differentially testable against an unfaulted run.
+"""
+
+from repro.runtime.checkpoint import (
+    atomic_write_bytes,
+    atomic_write_text,
+    content_key,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.runtime.faults import (
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    corrupt_checkpoint,
+    fault_point,
+    install_plan,
+)
+from repro.runtime.supervisor import (
+    Supervisor,
+    SupervisorStats,
+    TaskFailure,
+    usable_cpus,
+)
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "content_key",
+    "load_checkpoint",
+    "save_checkpoint",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "corrupt_checkpoint",
+    "fault_point",
+    "install_plan",
+    "Supervisor",
+    "SupervisorStats",
+    "TaskFailure",
+    "usable_cpus",
+]

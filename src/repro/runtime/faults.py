@@ -1,0 +1,245 @@
+"""Deterministic fault injection for the resilience layer.
+
+Recovery code that is never executed is broken code.  This module gives
+the supervised sweep runner and the checkpointing explorer the same
+treatment the simulation engines get from differential fuzzing: a
+*deterministic, seed-driven* schedule of faults — worker crashes, hangs,
+slow chunks, injected exceptions, simulated Ctrl-C — fired at named
+instrumentation points, so every recovery path has a repeatable test
+(``faulted run + resume == clean run``, bit-identical).
+
+Instrumentation points call :func:`fault_point(site, key)` — e.g.
+``fault_point("sweep_config", payload_index)`` before a sweep
+configuration is measured, or ``fault_point("explore_state", state_index)``
+at every explorer state boundary.  With no plan installed the call is a
+dict-free no-op.
+
+A :class:`FaultPlan` is a tuple of :class:`Fault` specs matched by
+``(site, key)``.  Each fault fires on attempts ``0 .. times-1`` and is
+*exhausted* afterwards, so a supervisor retry (which carries a higher
+attempt number) succeeds — attempt counting is carried by the scheduler,
+not by mutable in-process state, which keeps the schedule deterministic
+even when the faulted process is killed and respawned.
+
+Fault kinds
+-----------
+
+``crash``
+    In a worker process: ``os._exit`` — the process dies without cleanup,
+    exactly like a segfault or OOM kill.  In the parent process (serial
+    mode) a process exit would take the whole job down, so it degrades to
+    raising :class:`InjectedFault` — the serial retry path sees the same
+    "this config failed" signal the supervisor sees from a dead worker.
+``hang``
+    In a worker: sleep for ``seconds`` (default far beyond any reasonable
+    per-config timeout) so the supervisor's wall-clock deadline fires and
+    the worker is killed.  In the parent it degrades to
+    :class:`InjectedFault` like ``crash`` (an in-process sleep cannot be
+    interrupted by the code it is blocking).
+``slow``
+    Sleep ``seconds`` then continue normally — exercises timeout slack.
+``raise``
+    Raise :class:`InjectedFault` in-process (both modes).
+``sigint``
+    Raise :class:`KeyboardInterrupt` — a deterministic stand-in for
+    Ctrl-C, used to test checkpoint-flush-on-interrupt paths.
+
+The plan travels to spawn workers inside the task payload (workers never
+inherit parent globals); :func:`plan_scope` / :func:`attempt_scope`
+install it around one task.  :func:`mark_worker` is called by the
+supervisor's worker main so ``crash``/``hang`` know they may take the
+process down.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.errors import ElasticError
+
+
+class InjectedFault(ElasticError):
+    """An artificial failure raised by the fault-injection harness."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: fires at ``(site, key)`` on attempts
+    ``0 .. times-1``.  ``key=None`` matches every key at the site."""
+
+    site: str
+    key: object = None
+    kind: str = "raise"       # crash | hang | slow | raise | sigint
+    times: int = 1
+    seconds: float = 3600.0   # hang / slow sleep duration
+
+    def __post_init__(self):
+        if self.kind not in ("crash", "hang", "slow", "raise", "sigint"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+class FaultPlan:
+    """An immutable, picklable schedule of :class:`Fault` specs."""
+
+    def __init__(self, faults=()):
+        self.faults = tuple(faults)
+
+    def __repr__(self):
+        return f"FaultPlan({list(self.faults)!r})"
+
+    def find(self, site, key):
+        """First fault matching ``(site, key)``, or ``None``."""
+        for fault in self.faults:
+            if fault.site == site and (fault.key is None or fault.key == key):
+                return fault
+        return None
+
+    @classmethod
+    def seeded(cls, seed, site, keys, kinds=("crash", "hang"), rate=0.25,
+               times=1, seconds=3600.0):
+        """A reproducible random schedule: each ``key`` independently draws
+        a fault of a random ``kind`` with probability ``rate``, driven by
+        ``random.Random(seed)`` — the same seed always yields the same
+        plan, which is what makes differential resilience pinning possible.
+        """
+        rng = random.Random(seed)
+        faults = []
+        for key in keys:
+            if rng.random() < rate:
+                faults.append(Fault(site=site, key=key,
+                                    kind=rng.choice(list(kinds)),
+                                    times=times, seconds=seconds))
+        return cls(faults)
+
+
+# Process-local harness state.  Installed per task (see plan_scope /
+# attempt_scope); spawn workers start with all three at their defaults.
+_active_plan = None
+_attempt = 0
+_in_worker = False
+
+
+def mark_worker(flag=True):
+    """Declare this process a supervised worker: ``crash`` faults may
+    ``os._exit`` and ``hang`` faults may sleep (the supervisor's deadline
+    reaps them)."""
+    global _in_worker
+    _in_worker = flag
+
+
+def install_plan(plan, attempt=0):
+    """Install ``plan`` (or ``None`` to clear) as this process's active
+    fault schedule."""
+    global _active_plan, _attempt
+    _active_plan = plan
+    _attempt = attempt
+
+
+@contextmanager
+def plan_scope(plan):
+    """Install ``plan`` for the duration of a task.  ``plan=None`` keeps
+    whatever plan is already ambient (so a test can install one globally
+    around a serial run)."""
+    global _active_plan
+    if plan is None:
+        yield
+        return
+    previous = _active_plan
+    _active_plan = plan
+    try:
+        yield
+    finally:
+        _active_plan = previous
+
+
+@contextmanager
+def attempt_scope(attempt):
+    """Set the current attempt number for the duration of a task (retries
+    run with higher attempts, which exhausts ``times``-limited faults)."""
+    global _attempt
+    previous = _attempt
+    _attempt = attempt
+    try:
+        yield
+    finally:
+        _attempt = previous
+
+
+def current_attempt():
+    return _attempt
+
+
+def fault_point(site, key=None):
+    """Fire any scheduled fault for ``(site, key)`` at the current attempt.
+
+    No-op without an installed plan — instrumentation points stay in
+    production code paths at negligible cost.
+    """
+    plan = _active_plan
+    if plan is None:
+        return
+    fault = plan.find(site, key)
+    if fault is None or _attempt >= fault.times:
+        return
+    label = f"{fault.kind} at {site}:{key!r} (attempt {_attempt})"
+    if fault.kind == "sigint":
+        raise KeyboardInterrupt(f"injected {label}")
+    if fault.kind == "raise":
+        raise InjectedFault(f"injected {label}")
+    if fault.kind == "slow":
+        time.sleep(fault.seconds)
+        return
+    if fault.kind == "crash":
+        if _in_worker:
+            os._exit(31)
+        raise InjectedFault(f"injected {label} (in-process degradation)")
+    if fault.kind == "hang":
+        if _in_worker:
+            time.sleep(fault.seconds)
+            return
+        raise InjectedFault(f"injected {label} (in-process degradation)")
+
+
+# -- checkpoint corruption (for testing the integrity checks) ---------------
+
+def corrupt_checkpoint(path, mode="flip"):
+    """Deterministically damage a checkpoint file in place.
+
+    ``mode``:
+
+    * ``"flip"`` — invert one byte in the middle of the body (checksum
+      mismatch);
+    * ``"truncate"`` — drop the last third of the file (torn write /
+      partial copy);
+    * ``"garbage"`` — replace the file with non-checkpoint bytes (missing
+      header).
+
+    Used by the fault suites to assert that
+    :func:`~repro.runtime.checkpoint.load_checkpoint` reports every
+    corruption as a clean :class:`~repro.errors.CheckpointError` instead
+    of silently loading bad state.
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if mode == "garbage":
+        damaged = b"this is not a checkpoint\n"
+    elif mode == "truncate":
+        damaged = data[: max(1, (len(data) * 2) // 3)]
+    elif mode == "flip":
+        # Flip a byte well inside the body (after the 5-line header).
+        header_end = 0
+        for _ in range(5):
+            header_end = data.index(b"\n", header_end) + 1
+        target = header_end + max(0, (len(data) - header_end) // 2)
+        target = min(target, len(data) - 1)
+        damaged = data[:target] + bytes([data[target] ^ 0xFF]) \
+            + data[target + 1:]
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    with open(path, "wb") as fh:
+        fh.write(damaged)
+    return path

@@ -1,0 +1,388 @@
+"""A supervised multiprocessing worker pool for long-running jobs.
+
+``multiprocessing.Pool`` is the wrong primitive for a job that runs for
+minutes to hours: one worker dying (OOM kill, segfault in a native
+extension, a stray ``os._exit``) poisons the pool, a hung task blocks its
+worker forever, and a raising task unwinds the whole ``map`` with partial
+results lost.  :class:`Supervisor` replaces it with the structure every
+production scheduler has:
+
+* **Liveness tracking** — each worker runs one task at a time over a
+  dedicated duplex pipe; the parent multiplexes results with
+  :func:`multiprocessing.connection.wait` and checks ``Process.is_alive``
+  every tick, so a dead worker is detected within one tick, not at pool
+  teardown.
+* **Wall-clock timeouts** — each task carries a deadline
+  (``timeout * weight`` seconds); a worker that blows it is killed and
+  replaced, and the task is rescheduled.
+* **Respawn** — dead or killed workers are replaced immediately; the pool
+  never shrinks below its target width while work remains.
+* **Retry with exponential backoff** — a failed task is retried up to
+  ``retries`` times, waiting ``backoff * 2**attempt`` seconds between
+  attempts; the attempt number is shipped inside the task payload so
+  deterministic fault schedules (:mod:`repro.runtime.faults`) are
+  exhausted by retries even across process respawns.
+* **Graceful degradation** — a task that exhausts its retry budget
+  becomes a structured :class:`TaskFailure` in the result instead of an
+  exception that aborts the run.  An optional ``split`` hook breaks a
+  failed multi-item task into single-item tasks first (no retry consumed),
+  so one poison item cannot take down the batch it happened to share a
+  chunk with.
+
+The worker entry point (:func:`_worker_main`) resolves its task runner
+from a ``"module:attribute"`` reference, keeping the protocol picklable
+under the spawn start method (workers inherit nothing from the parent —
+the same discipline :mod:`repro.perf.sweep` established for engine
+propagation).
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
+
+
+def usable_cpus():
+    """CPUs this process may actually run on (affinity-aware; the gate the
+    benchmarks and multiprocessing fault tests share)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:          # non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_ref(ref):
+    """Resolve a ``"module:attribute"`` reference to the callable."""
+    if callable(ref):
+        return ref
+    module_name, sep, attr = str(ref).partition(":")
+    if not sep:
+        raise ValueError(f"{ref!r} is not a 'module:attribute' reference")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+@dataclass
+class TaskFailure:
+    """A task that exhausted its retry budget (single-item by the time it
+    lands here when a ``split`` hook is installed)."""
+
+    task: dict
+    error: str
+    traceback: str
+    attempts: int
+
+
+@dataclass
+class SupervisorStats:
+    """Observability counters for one :meth:`Supervisor.run`."""
+
+    retries: int = 0      # task re-executions after a failure
+    respawns: int = 0     # workers replaced (died or killed)
+    timeouts: int = 0     # tasks killed by the wall-clock deadline
+    deaths: int = 0       # workers found dead (crash, not killed by us)
+    splits: int = 0       # failed multi-item tasks broken into singles
+
+
+@dataclass
+class _Item:
+    id: int
+    task: dict
+    weight: int = 1
+    attempt: int = 0
+    not_before: float = 0.0
+
+
+@dataclass
+class _Worker:
+    process: object
+    conn: object
+    item: object = field(default=None)
+    deadline: object = field(default=None)
+
+
+def _worker_main(conn, runner_ref):
+    """Worker loop: receive ``(task_id, task)``, run, send the outcome.
+
+    Runs until the parent sends ``None`` or the pipe closes.  Any
+    exception in the runner is reported as a structured error message —
+    the worker itself survives and takes the next task.  A ``crash``
+    fault (or a real segfault) never reaches the except clause; the
+    parent notices the dead process instead.
+    """
+    from repro.runtime import faults
+
+    faults.mark_worker()
+    runner = resolve_ref(runner_ref)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        task_id, task = message
+        try:
+            result = runner(task)
+            conn.send((task_id, "ok", result))
+        except BaseException as exc:  # noqa: BLE001 — report, don't die
+            conn.send((task_id, "error", {
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            }))
+
+
+class Supervisor:
+    """Run picklable task dicts through supervised spawn workers.
+
+    Parameters
+    ----------
+    runner:
+        ``"module:attribute"`` reference to ``runner(task) -> result``,
+        resolved inside each worker (and therefore importable there).
+    n_workers:
+        Target pool width.
+    timeout:
+        Per-task wall-clock seconds (scaled by the task's ``weight``);
+        ``None`` disables deadlines.
+    retries:
+        Per-task retry budget after the first attempt.
+    backoff:
+        Base of the exponential retry delay (``backoff * 2**attempt``).
+    split:
+        Optional ``split(task) -> list[(task, weight)] | None``; called
+        when a multi-item task fails, to isolate the poison item without
+        charging anyone's retry budget.
+    on_result:
+        Optional ``on_result(task, result)`` parent-side callback per
+        completed task — the checkpoint hook.
+    """
+
+    _TICK = 0.02
+
+    def __init__(self, runner, n_workers, timeout=None, retries=0,
+                 backoff=0.05, split=None, on_result=None):
+        self.runner = runner
+        self.n_workers = max(1, int(n_workers))
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff = backoff
+        self.split = split
+        self.on_result = on_result
+        self.stats = SupervisorStats()
+        self._context = multiprocessing.get_context("spawn")
+        self._next_id = 0
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _spawn(self):
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main, args=(child_conn, self.runner), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process=process, conn=parent_conn)
+
+    def _reap(self, worker, kill=False):
+        """Dispose of a worker (already dead, or to be killed)."""
+        try:
+            if kill and worker.process.is_alive():
+                worker.process.kill()
+            worker.process.join(timeout=5)
+        finally:
+            worker.conn.close()
+
+    def _shutdown(self, workers):
+        for worker in workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in workers:
+            worker.process.join(timeout=1)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5)
+            worker.conn.close()
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _make_item(self, task, weight=1, attempt=0, not_before=0.0):
+        item = _Item(id=self._next_id, task=task, weight=weight,
+                     attempt=attempt, not_before=not_before)
+        self._next_id += 1
+        return item
+
+    def _fail(self, item, error, tb, ready, failures):
+        """Route one failed execution: split, retry with backoff, or give
+        up into a :class:`TaskFailure`."""
+        if self.split is not None:
+            parts = self.split(item.task)
+            if parts is not None and len(parts) > 1:
+                self.stats.splits += 1
+                for task, weight in parts:
+                    ready.append(self._make_item(task, weight=weight))
+                return
+        if item.attempt < self.retries:
+            self.stats.retries += 1
+            delay = self.backoff * (2 ** item.attempt)
+            ready.append(_Item(
+                id=item.id, task=item.task, weight=item.weight,
+                attempt=item.attempt + 1,
+                not_before=time.monotonic() + delay,
+            ))
+            return
+        failures.append(TaskFailure(
+            task=item.task, error=error, traceback=tb,
+            attempts=item.attempt + 1,
+        ))
+
+    def run(self, tasks, weights=None):
+        """Execute ``tasks``; returns ``(results, failures)``.
+
+        ``results`` is a list of every completed task's result (order
+        reflects completion, not submission — merge on content, as the
+        sweep does by row index); ``failures`` is a list of
+        :class:`TaskFailure`.  KeyboardInterrupt tears the pool down
+        (workers killed) and propagates, leaving any ``on_result``
+        checkpointing already durable.
+        """
+        ready = deque()
+        for position, task in enumerate(tasks):
+            weight = weights[position] if weights else 1
+            ready.append(self._make_item(task, weight=weight))
+        results, failures = [], []
+        if not ready:
+            return results, failures
+        width = min(self.n_workers, len(ready))
+        workers = [self._spawn() for _ in range(width)]
+        idle = list(workers)
+        waiting = []      # backoff'd items not yet ready to run
+        try:
+            while ready or waiting or any(w.item is not None for w in workers):
+                now = time.monotonic()
+                for entry in list(waiting):
+                    if entry.not_before <= now:
+                        waiting.remove(entry)
+                        ready.append(entry)
+                while idle and ready:
+                    item = ready[0]
+                    if item.not_before > now:
+                        # deque holds only due items except via _fail; keep
+                        # order by moving it to the waiting set instead.
+                        waiting.append(ready.popleft())
+                        continue
+                    ready.popleft()
+                    worker = idle.pop()
+                    if not worker.process.is_alive():
+                        # Died while idle (should not happen, but never
+                        # assign work to a corpse).
+                        self.stats.respawns += 1
+                        self._reap(worker)
+                        workers.remove(worker)
+                        worker = self._spawn()
+                        workers.append(worker)
+                    task = dict(item.task, attempt=item.attempt)
+                    try:
+                        worker.conn.send((item.id, task))
+                    except (BrokenPipeError, OSError):
+                        self.stats.respawns += 1
+                        self._reap(worker)
+                        workers.remove(worker)
+                        replacement = self._spawn()
+                        workers.append(replacement)
+                        idle.append(replacement)
+                        ready.appendleft(item)
+                        continue
+                    worker.item = item
+                    worker.deadline = (
+                        None if self.timeout is None
+                        else now + self.timeout * item.weight
+                    )
+                busy = [w for w in workers if w.item is not None]
+                if not busy:
+                    if waiting and not ready:
+                        time.sleep(min(
+                            self._TICK,
+                            max(0.0, min(e.not_before for e in waiting) - now),
+                        ))
+                    continue
+                readable = connection.wait(
+                    [w.conn for w in busy], timeout=self._TICK
+                )
+                by_conn = {w.conn: w for w in busy}
+                for conn in readable:
+                    worker = by_conn[conn]
+                    item = worker.item
+                    try:
+                        task_id, status, payload = conn.recv()
+                    except (EOFError, OSError):
+                        # Worker died mid-task: its end of the pipe closed
+                        # before a result arrived (an os._exit / segfault
+                        # usually lands here, via the EOF, before the
+                        # liveness check below sees the corpse).
+                        self.stats.deaths += 1
+                        self.stats.respawns += 1
+                        self._reap(worker)
+                        workers.remove(worker)
+                        replacement = self._spawn()
+                        workers.append(replacement)
+                        idle.append(replacement)
+                        self._fail(
+                            item,
+                            f"worker died (exit code "
+                            f"{worker.process.exitcode})",
+                            "", ready, failures,
+                        )
+                        continue
+                    worker.item = None
+                    worker.deadline = None
+                    idle.append(worker)
+                    if status == "ok":
+                        results.append(payload)
+                        if self.on_result is not None:
+                            self.on_result(item.task, payload)
+                    else:
+                        self._fail(item, payload["error"],
+                                   payload["traceback"], ready, failures)
+                now = time.monotonic()
+                for worker in list(workers):
+                    item = worker.item
+                    if item is None:
+                        continue
+                    if not worker.process.is_alive():
+                        exitcode = worker.process.exitcode
+                        self.stats.deaths += 1
+                        self.stats.respawns += 1
+                        self._reap(worker)
+                        workers.remove(worker)
+                        replacement = self._spawn()
+                        workers.append(replacement)
+                        idle.append(replacement)
+                        self._fail(
+                            item, f"worker died (exit code {exitcode})", "",
+                            ready, failures,
+                        )
+                    elif worker.deadline is not None and now > worker.deadline:
+                        self.stats.timeouts += 1
+                        self.stats.respawns += 1
+                        self._reap(worker, kill=True)
+                        workers.remove(worker)
+                        replacement = self._spawn()
+                        workers.append(replacement)
+                        idle.append(replacement)
+                        self._fail(
+                            item,
+                            f"timed out after "
+                            f"{self.timeout * item.weight:.1f}s",
+                            "", ready, failures,
+                        )
+        finally:
+            self._shutdown(workers)
+        return results, failures

@@ -41,16 +41,45 @@ and the returned :class:`ExplorationResult` carries a prebuilt adjacency
 index (:meth:`ExplorationResult.successors` /
 :meth:`ExplorationResult.predecessors`) that the deadlock and leads-to
 analyses traverse instead of re-scanning the flat transition list.
+
+Checkpoint / resume
+-------------------
+
+Multi-minute explorations survive crashes and Ctrl-C through
+``StateExplorer(checkpoint=PATH)``.  Because both engines expand states
+in strict discovery-index order, the whole search position at any *state
+boundary* (the instant before expanding state ``k``) is one integer:
+every state with a smaller index is fully expanded, the frontier is
+exactly ``range(k, n_states)``.  The checkpoint is therefore the explored
+prefix — states, transitions, violations, the cap flag and ``k`` —
+written atomically (temp file + ``os.replace``, SHA-256 checksum) every
+``checkpoint_every`` expanded states, keyed by a content-address over the
+netlist's structure, initial snapshot, ``max_states`` and
+``check_protocol``, so a checkpoint of a *different* design (or a
+truncated / bit-rotted file) is a loud
+:class:`~repro.errors.CheckpointError`, never silently loaded.  On
+:class:`KeyboardInterrupt` the explorer rolls back to the last boundary,
+flushes it, and re-raises; a resumed run replays the identical BFS from
+``k`` — same state indices, transition list, violations and verdicts as
+an uninterrupted run (the dedup index is rebuilt from the stored states
+by re-encoding, and a resume of a *finished* checkpoint returns the
+stored result without expanding anything).  ``time_budget`` bounds a
+single call's wall clock the same way: stop at a boundary, flush, mark
+the result ``stopped`` — `repro verify --timeout --retries` chains such
+slices into an any-length exploration that makes progress per slice.
 """
 
 from __future__ import annotations
 
 import itertools
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.elastic.node import Node
-from repro.errors import VerificationError
+from repro.errors import CheckpointError, VerificationError
+from repro.runtime.checkpoint import content_key, load_checkpoint, save_checkpoint
+from repro.runtime.faults import fault_point
 from repro.sim.engine import Simulator
 from repro.verif.encoding import StateCodec, unpack_signals
 from repro.verif.properties import (
@@ -87,6 +116,10 @@ class ExplorationResult:
     violations: list = field(default_factory=list)    # protocol problems
     complete: bool = True                              # hit no state cap
     channel_names: list = field(default_factory=list)  # packed-signal order
+    #: ``None`` when the search ran to the end of the frontier; a reason
+    #: string when it stopped early (``time_budget`` exceeded).  The
+    #: partial result is still consistent and, with a checkpoint, resumable.
+    stopped: object = None
 
     # lazily built adjacency index (invalidated when the graph grows)
     _succ: list = field(default=None, init=False, repr=False, compare=False)
@@ -149,7 +182,7 @@ class ExplorationResult:
         return path
 
     def ok(self):
-        return self.complete and not self.violations
+        return self.complete and self.stopped is None and not self.violations
 
 
 class StateExplorer:
@@ -164,10 +197,14 @@ class StateExplorer:
     """
 
     def __init__(self, netlist, max_states=20000, check_protocol=True,
-                 engine=None, lanes=1):
+                 engine=None, lanes=1, checkpoint=None, checkpoint_every=1000,
+                 time_budget=None):
         self.netlist = netlist
         self.max_states = max_states
         self.check_protocol = check_protocol
+        self.checkpoint = checkpoint
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.time_budget = time_budget
         lanes = int(lanes)
         if lanes < 1:
             raise ValueError(f"lanes must be >= 1, got {lanes}")
@@ -295,6 +332,92 @@ class StateExplorer:
             )
         )
 
+    # -- checkpoint / resume ------------------------------------------------
+
+    def _checkpoint_key(self, initial_snapshot):
+        """Content address of this exploration: netlist structure, initial
+        state, ``max_states`` and ``check_protocol`` — everything that
+        determines the reachable graph.  ``lanes`` / ``engine`` are
+        deliberately excluded: the engines are bit-identical, so their
+        checkpoints interchange."""
+        try:
+            return content_key((
+                "explore-v1",
+                self.netlist.name,
+                tuple(self._channel_names),
+                tuple((name, type(node).__name__)
+                      for name, node in sorted(self.netlist.nodes.items())),
+                initial_snapshot,
+                self.max_states,
+                self.check_protocol,
+            ))
+        except ValueError as exc:
+            raise CheckpointError(
+                f"design state is not serializable for checkpointing: {exc}"
+            ) from exc
+
+    def _try_resume(self, result, index):
+        """Restore the explored prefix from ``checkpoint`` (when the file
+        exists and matches this exploration's content key); returns the
+        discovery index to resume expansion from (0 on a fresh start).
+        The dedup index is rebuilt by re-encoding every stored state, so a
+        resumed run dedups exactly as the uninterrupted run did."""
+        if self.checkpoint is None:
+            return 0
+        body = load_checkpoint(self.checkpoint, "explore", self._ckpt_key)
+        if body is None:
+            return 0
+        result.states[:] = body["states"]
+        result.transitions[:] = body["transitions"]
+        result.violations[:] = body["violations"]
+        result.complete = body["complete"]
+        index.clear()
+        for i, (snapshot, signals) in enumerate(result.states):
+            index[self._key(snapshot, signals)] = i
+        return body["next_index"]
+
+    def _boundary(self, result, current):
+        """State-boundary hook, called the instant before expanding state
+        ``current``: record the rollback point, fire the fault-injection
+        point, write a periodic checkpoint, and check the time budget.
+        Returns ``True`` when the budget is spent (the caller stops)."""
+        self._boundary_state = (current, len(result.states),
+                                len(result.transitions),
+                                len(result.violations), result.complete)
+        fault_point("explore_state", current)
+        if (self.checkpoint is not None
+                and current - self._last_saved >= self.checkpoint_every):
+            self._flush_boundary(result)
+            self._last_saved = current
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            self._flush_boundary(result)
+            return True
+        return False
+
+    def _flush_boundary(self, result):
+        """Roll ``result`` back to the last recorded state boundary (a
+        no-op when already there) and, when checkpointing, write the
+        boundary out atomically."""
+        if self._boundary_state is None:
+            return
+        current, n_states, n_transitions, n_violations, complete = \
+            self._boundary_state
+        del result.states[n_states:]
+        del result.transitions[n_transitions:]
+        del result.violations[n_violations:]
+        result.complete = complete
+        if self.checkpoint is None:
+            return
+        save_checkpoint(self.checkpoint, "explore", self._ckpt_key, {
+            "states": result.states,
+            "transitions": result.transitions,
+            "violations": result.violations,
+            "complete": result.complete,
+            "next_index": current,
+        }, codec="pickle")
+
+    # -- the search ---------------------------------------------------------
+
     def explore(self):
         """Run BFS; returns an :class:`ExplorationResult`.
 
@@ -302,6 +425,10 @@ class StateExplorer:
         (:class:`collections.deque`), so state indices are in
         breadth-first discovery order and counterexamples reconstructed
         through :meth:`ExplorationResult.predecessors` are shortest-path.
+        With ``checkpoint`` set, resumes from a matching checkpoint file
+        and flushes the last consistent boundary on KeyboardInterrupt
+        before re-raising; with ``time_budget`` set, stops at a boundary
+        once the budget is spent and marks the result ``stopped``.
         """
         self.netlist.reset()
         initial_snapshot = self.netlist.snapshot()
@@ -309,19 +436,41 @@ class StateExplorer:
         index = {self._key(initial_snapshot, None): 0}
         result = ExplorationResult(states=[initial],
                                    channel_names=list(self._channel_names))
-        if self._batch is not None:
-            self._explore_batched(result, index)
-        else:
-            self._explore_scalar(result, index)
+        self._ckpt_key = (self._checkpoint_key(initial_snapshot)
+                          if self.checkpoint is not None else None)
+        start = self._try_resume(result, index)
+        self._last_saved = start
+        self._boundary_state = None
+        self._deadline = (time.monotonic() + self.time_budget
+                          if self.time_budget is not None else None)
+        try:
+            if self._batch is not None:
+                self._explore_batched(result, index, start)
+            else:
+                self._explore_scalar(result, index, start)
+        except KeyboardInterrupt:
+            self._flush_boundary(result)
+            raise
+        if self.checkpoint is not None and result.stopped is None:
+            # Final "done" checkpoint: next_index == n_states, so resuming
+            # a finished job returns the stored result without expanding.
+            self._boundary_state = (len(result.states), len(result.states),
+                                    len(result.transitions),
+                                    len(result.violations), result.complete)
+            self._flush_boundary(result)
         return result
 
-    def _explore_scalar(self, result, index):
+    def _explore_scalar(self, result, index, start=0):
         netlist = self.netlist
         sim = self.sim
         states = result.states
-        frontier = deque((0,))
+        frontier = deque(range(start, len(states)))
         while frontier:
-            current = frontier.popleft()
+            current = frontier[0]
+            if self._boundary(result, current):
+                result.stopped = "time budget exceeded"
+                return
+            frontier.popleft()
             snapshot, prev_signals = states[current]
             # One restore serves both the choice-space enumeration and the
             # first expansion; later vectors re-restore before stepping.
@@ -336,14 +485,21 @@ class StateExplorer:
                 self._record(result, index, frontier, current, prev_signals,
                              choices, events, signals, netlist.snapshot())
 
-    def _explore_batched(self, result, index):
+    def _explore_batched(self, result, index, start=0):
         batch = self._batch
         lanes = self.lanes
         netlist = self.netlist       # choice-space probe only, never stepped
         states = result.states
-        frontier = deque((0,))
+        frontier = deque(range(start, len(states)))
         tasks = deque()
         while frontier or tasks:
+            # A state boundary exists only when no expansion is pending:
+            # tasks drain strictly in BFS order, so an empty queue means
+            # every state below frontier[0] is fully expanded.
+            if not tasks:
+                if self._boundary(result, frontier[0]):
+                    result.stopped = "time budget exceeded"
+                    return
             # Refill the pending-expansion queue in exactly the scalar BFS
             # order.  Pre-popping the next frontier states before earlier
             # results are recorded is safe: the frontier is ordered by

@@ -15,7 +15,7 @@ from repro.perf.presets import (
     fig6_point,
     fig6_spec,
 )
-from repro.perf.sweep import SweepSpec, run_sweep
+from repro.perf.sweep import SweepRunError, SweepSpec, run_sweep
 from repro.sim.engine import get_default_engine
 
 
@@ -95,8 +95,25 @@ class TestSerialSweep:
         spec = SweepSpec(name="s", factory=fig6_point,
                          points=[{"design": "stalling"}], channel="nope",
                          cycles=20, warmup=0)
-        with pytest.raises(ValueError, match="nope"):
-            run_sweep(spec)
+        with pytest.raises(SweepRunError, match="nope"):
+            run_sweep(spec, on_error="raise")
+
+    def test_missing_channel_collected_as_failed_row(self):
+        """The default error policy degrades a raising configuration to a
+        structured FailedRow instead of aborting the sweep."""
+        spec = SweepSpec(name="s", factory=fig6_point,
+                         points=[{"design": "stalling"}], channel="nope",
+                         cycles=20, warmup=0)
+        result = run_sweep(spec)
+        assert result.rows == []
+        assert not result.ok()
+        (failure,) = result.failures
+        assert failure.index == 0
+        assert "nope" in failure.error
+        assert failure.attempts == 1
+        assert result.to_payload()["failures"][0]["error"] == failure.error
+        with pytest.raises(SweepRunError, match="nope"):
+            result.raise_for_failures()
 
     def test_spec_engine_used_serially(self):
         spec = SweepSpec(name="s", factory=fig6_point,
