@@ -1,0 +1,91 @@
+"""Lint throughput: how much wall-clock the static rules (and the opt-in
+sensitivity audit) cost on the largest shipped designs, and how much the
+version-memoized :func:`repro.lint.cached_lint` saves in a transform loop.
+
+The static rule set has to stay cheap enough to run inside every
+transform's rollback scope (``Session(lint_after_transforms=True)``), so
+its per-design cost is recorded into the perf trajectory alongside the
+sweep and incremental numbers."""
+
+import time
+
+from conftest import merge_json
+
+from repro.lint import cached_lint, run_lint
+from repro.netlist import patterns
+from repro.transform import Session
+
+REPEATS = 20
+
+
+def _designs():
+    return {
+        "table1_design": patterns.table1_design()[0],
+        "deep_pipeline_64": patterns.deep_pipeline(64),
+        "kway_loop_6": patterns.kway_loop(lambda g: g % 6, k=6)[0],
+        "token_ring_32": patterns.token_ring(32, 8),
+    }
+
+
+def _time_lint(net, rules=None):
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        report = run_lint(net, rules=rules)
+        best = min(best, time.perf_counter() - start)
+        assert report.ok, report.format()
+    return best
+
+
+def test_lint_wall_clock():
+    payload = {}
+    for name, net in _designs().items():
+        static_seconds = _time_lint(net)
+        payload[name] = {
+            "nodes": len(net.nodes),
+            "channels": len(net.channels),
+            "static_seconds": static_seconds,
+        }
+    # the dynamic audit executes every node's comb() dozens of times; it
+    # is opt-in, but its cost on the reference design is worth tracking
+    net = patterns.table1_design()[0]
+    start = time.perf_counter()
+    report = run_lint(net, rules="all")
+    payload["table1_design"]["with_audit_seconds"] = (
+        time.perf_counter() - start)
+    assert report.ok, report.format()
+    merge_json("BENCH_lint.json", payload)
+
+
+def test_cached_lint_amortizes_transform_loop():
+    session = Session(patterns.table1_design()[0])
+    channels = sorted(session.netlist.channels)
+
+    start = time.perf_counter()
+    for channel in channels:
+        session.insert_bubble(channel)
+        run_lint(session.netlist)
+        for _ in range(9):                    # re-checks between edits
+            run_lint(session.netlist)
+    cold_seconds = time.perf_counter() - start
+
+    session = Session(patterns.table1_design()[0])
+    start = time.perf_counter()
+    for channel in channels:
+        session.insert_bubble(channel)
+        cached_lint(session.netlist)
+        for _ in range(9):
+            cached_lint(session.netlist)      # version-memo hits
+    cached_seconds = time.perf_counter() - start
+
+    speedup = cold_seconds / cached_seconds
+    merge_json("BENCH_lint.json", {
+        "cached_loop": {
+            "edits": len(channels),
+            "relints_per_edit": 10,
+            "cold_seconds": cold_seconds,
+            "cached_seconds": cached_seconds,
+            "speedup": speedup,
+        },
+    })
+    assert speedup > 1.0

@@ -43,6 +43,7 @@ from repro.core import (
     TwoBitScheduler,
     speculate,
 )
+from repro.lint import Diagnostic, LintReport, cached_lint, run_lint
 from repro.netlist import Netlist, to_dot
 from repro.netlist import patterns
 from repro.sim import Simulator, TraceRecorder, format_trace_table
@@ -74,6 +75,10 @@ __all__ = [
     "speculate",
     "Netlist",
     "to_dot",
+    "Diagnostic",
+    "LintReport",
+    "run_lint",
+    "cached_lint",
     "patterns",
     "Simulator",
     "TraceRecorder",

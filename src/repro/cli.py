@@ -11,6 +11,7 @@ Usage (after installation)::
     python -m repro profile [--design fig1d]   # fix-point engine profile
     python -m repro sweep [--grid fig6] [--workers 4] [--lanes 8]  # sharded sweeps
     python -m repro explore SCRIPT [--design fig1a] [--measure CH]  # warm transform loop
+    python -m repro lint [SCRIPT] [--design fig1a] [--json] [--fail-on warning]  # static analysis
 
 The global ``--engine {worklist,naive,batch}`` option (before the
 subcommand) selects the fix-point engine for every simulation and
@@ -361,6 +362,34 @@ def _cmd_explore(args):
     return 0
 
 
+def _cmd_lint(args):
+    from repro.lint import run_lint
+
+    net = _DESIGNS[args.design]()
+    if args.script:
+        # Lint the design point a transform script produces, not the
+        # canned seed: the session applies (and validates) every command,
+        # then the final netlist is analyzed.
+        from repro.transform.session import Session
+
+        session = Session(net)
+        if args.script == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.script) as fh:
+                text = fh.read()
+        session.run_script(text)
+        net = session.netlist
+    rules = "all" if args.audit else None
+    report = run_lint(net, rules=rules)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(f"design={args.design} rules={','.join(report.rules)}")
+        print(report.format())
+    return 1 if report.exceeds(args.fail_on) else 0
+
+
 def _cmd_export(args):
     from repro.backend.smv import to_smv
     from repro.backend.verilog import to_verilog
@@ -483,6 +512,29 @@ def build_parser():
     p.add_argument("--cycles", type=int, default=400)
     p.add_argument("--warmup", type=int, default=50)
     p.set_defaults(fn=_cmd_explore)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: elastic-protocol rules, wiring hygiene and "
+             "the sensitivity-soundness audit",
+    )
+    p.add_argument("script", nargs="?", default=None,
+                   help="optional transform script to apply before linting "
+                        "(one command per line, # comments; '-' reads "
+                        "stdin)")
+    p.add_argument("--design", choices=sorted(_DESIGNS), default="fig1a")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report instead of the "
+                        "human rendering")
+    p.add_argument("--fail-on", choices=["error", "warning", "never"],
+                   default="error",
+                   help="exit 1 when findings at or above this severity "
+                        "exist (default: error)")
+    p.add_argument("--audit", action="store_true",
+                   help="also run the dynamic sensitivity-soundness audit "
+                        "(executes every node's comb() under fuzzed "
+                        "channel states)")
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(
         "profile", help="per-node-kind comb() call counts and sweep histograms"

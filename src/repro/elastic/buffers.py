@@ -49,6 +49,7 @@ class ElasticBuffer(Node):
     """
 
     kind = "eb"
+    registers_tokens = True
 
     def __init__(self, name, init=(), capacity=2, anti_capacity=1, init_anti=0):
         super().__init__(name)
@@ -197,6 +198,7 @@ class ZeroBackwardLatencyBuffer(Node):
     """
 
     kind = "zbl_eb"
+    registers_tokens = True
 
     def __init__(self, name, init=()):
         super().__init__(name)

@@ -32,6 +32,7 @@ class AbstractElasticFifo(Node):
     """
 
     kind = "abstract_fifo"
+    registers_tokens = True
 
     def __init__(self, name, init=(), max_occupancy=8):
         super().__init__(name)

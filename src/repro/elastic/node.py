@@ -59,6 +59,15 @@ class Node:
     #: kernel would lane-parallelize the *ancestor's* semantics.
     batch_comb = None
 
+    #: True for node kinds that *register* tokens — a clock boundary on the
+    #: token-flow path (elastic buffers, variable-latency stations, FIFOs).
+    #: The static-analysis rules of :mod:`repro.lint` use this to decide
+    #: which nodes break a combinational cycle and where bubbles/tokens can
+    #: live on an elastic loop; kinds setting it True should expose
+    #: ``count`` (current token occupancy, possibly signed) and
+    #: ``capacity`` (token slots).
+    registers_tokens = False
+
     def __init__(self, name):
         self.name = name
         self.in_ports = []        # ordered token-input port names

@@ -44,6 +44,9 @@ class VariableLatencyUnit(Node):
     """
 
     kind = "varlat"
+    registers_tokens = True
+    #: the two-slot station (head in flight + skid slot)
+    capacity = 2
 
     def __init__(self, name, fn, err_fn, delay=1.0, err_path_delay=1.0,
                  area_cost=1.0):
@@ -61,6 +64,11 @@ class VariableLatencyUnit(Node):
         self._q = deque()        # [value, remaining_cycles]
         self.slow_ops = 0
         self.total_ops = 0
+
+    @property
+    def count(self):
+        """Tokens currently occupying the two-slot station."""
+        return len(self._q)
 
     def snapshot(self):
         return tuple((v, r) for v, r in self._q)

@@ -70,6 +70,24 @@ class BackendError(ElasticError):
     """A back-end (Verilog / SMV / BLIF) could not emit the given design."""
 
 
+class LintError(ElasticError):
+    """Static analysis found diagnostics at or above the requested
+    ``fail_on`` severity.  Carries the full :class:`repro.lint.LintReport`
+    as :attr:`report` so callers (the transform session's
+    ``lint_after_transforms`` hook, the CLI) can render every finding, not
+    just the first."""
+
+    def __init__(self, report):
+        self.report = report
+        worst = report.errors or report.warnings
+        head = "; ".join(str(d) for d in worst[:3])
+        more = "" if len(worst) <= 3 else f" (+{len(worst) - 3} more)"
+        super().__init__(
+            f"lint found {len(report.errors)} error(s), "
+            f"{len(report.warnings)} warning(s): {head}{more}"
+        )
+
+
 class CheckpointError(ElasticError):
     """A checkpoint file could not be trusted: missing header, checksum
     mismatch (truncated or corrupted body), wrong kind, or a content-address

@@ -1,7 +1,13 @@
 """Graphviz export — the "visualize the modified graph" feature of the
 Section 5 toolkit.  Elastic buffers are drawn as boxes annotated with their
 token count (the paper's dot-in-a-box notation), function blocks as
-ellipses, muxes as trapezia and shared modules as double octagons."""
+ellipses, muxes as trapezia and shared modules as double octagons.
+
+Pass lint findings via ``diagnostics=`` to overlay them: offending nodes
+are filled red (errors) or orange (warnings) with the diagnostic codes
+appended to their label, offending channels are drawn as thick colored
+edges — ``to_dot(net, diagnostics=run_lint(net).diagnostics)``.
+"""
 
 from __future__ import annotations
 
@@ -19,6 +25,15 @@ _SHAPES = {
     "nondet_sink": "cds",
 }
 
+#: severity -> (fill color, pen color) for the diagnostics overlay.
+_SEVERITY_COLORS = {
+    "error": ("#ffc4c4", "#cc0000"),
+    "warning": ("#ffe2b8", "#cc7700"),
+}
+
+#: severity precedence when one element carries several findings.
+_SEVERITY_ORDER = ("error", "warning")
+
 
 def _label(node):
     if node.kind in ("eb", "zbl_eb"):
@@ -34,17 +49,55 @@ def _label(node):
     return node.name
 
 
-def to_dot(netlist, rankdir="LR"):
-    """Render the netlist as a Graphviz dot string."""
+def _collect_overlay(diagnostics):
+    """Worst severity and code list per node / channel name."""
+    nodes, channels = {}, {}
+    for diag in diagnostics or ():
+        for target, table in ((diag.node, nodes), (diag.channel, channels)):
+            if not target:
+                continue
+            severity, codes = table.get(target, ("warning", []))
+            if (_SEVERITY_ORDER.index(diag.severity)
+                    < _SEVERITY_ORDER.index(severity)):
+                severity = diag.severity
+            if diag.code not in codes:
+                codes.append(diag.code)
+            table[target] = (severity, codes)
+    return nodes, channels
+
+
+def to_dot(netlist, rankdir="LR", diagnostics=None):
+    """Render the netlist as a Graphviz dot string.
+
+    ``diagnostics`` — an iterable of :class:`repro.lint.Diagnostic` (or a
+    :class:`~repro.lint.LintReport`'s ``.diagnostics``) — colors the
+    offending nodes and channels.
+    """
+    flagged_nodes, flagged_channels = _collect_overlay(diagnostics)
     lines = [f'digraph "{netlist.name}" {{', f"  rankdir={rankdir};"]
     for node in netlist.nodes.values():
         shape = _SHAPES.get(node.kind, "ellipse")
-        lines.append(f'  "{node.name}" [shape={shape}, label="{_label(node)}"];')
+        attrs = [f"shape={shape}"]
+        label = _label(node)
+        flag = flagged_nodes.get(node.name)
+        if flag is not None:
+            severity, codes = flag
+            fill, pen = _SEVERITY_COLORS[severity]
+            label += "\\n" + " ".join(codes)
+            attrs += [f'style=filled, fillcolor="{fill}"',
+                      f'color="{pen}"', "penwidth=2"]
+        attrs.append(f'label="{label}"')
+        lines.append(f'  "{node.name}" [{", ".join(attrs)}];')
     for channel in netlist.channels.values():
         src, src_port = channel.producer
         dst, dst_port = channel.consumer
-        lines.append(
-            f'  "{src}" -> "{dst}" [label="{channel.name}", fontsize=8];'
-        )
+        attrs = [f'label="{channel.name}"', "fontsize=8"]
+        flag = flagged_channels.get(channel.name)
+        if flag is not None:
+            severity, codes = flag
+            _fill, pen = _SEVERITY_COLORS[severity]
+            attrs[0] = f'label="{channel.name}\\n{" ".join(codes)}"'
+            attrs += [f'color="{pen}"', f'fontcolor="{pen}"', "penwidth=2.5"]
+        lines.append(f'  "{src}" -> "{dst}" [{", ".join(attrs)}];')
     lines.append("}")
     return "\n".join(lines)

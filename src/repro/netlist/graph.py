@@ -213,27 +213,22 @@ class Netlist:
 
     def validate(self):
         """Raise :class:`NetlistError` unless every port of every node is
-        connected and every channel has both endpoints."""
-        problems = []
-        for node in self.nodes.values():
-            for port in node.ports:
-                if port not in node._channels:
-                    problems.append(f"dangling port {node.name}.{port}")
-        for channel in self.channels.values():
-            if channel.producer is None:
-                problems.append(f"channel {channel.name} has no producer")
-            if channel.consumer is None:
-                problems.append(f"channel {channel.name} has no consumer")
-            if channel.producer is not None:
-                node_name, port = channel.producer
-                if self.nodes.get(node_name) is None:
-                    problems.append(f"channel {channel.name} producer node missing")
-            if channel.consumer is not None:
-                node_name, port = channel.consumer
-                if self.nodes.get(node_name) is None:
-                    problems.append(f"channel {channel.name} consumer node missing")
+        connected and every channel has both endpoints.
+
+        This is the *core structural subset* of :mod:`repro.lint` (codes
+        E001/E002), shared with the full ``structure`` rule — messages and
+        ordering are unchanged from the historical implementation.  It
+        stays deliberately cheap: it runs after every transformation.  Run
+        :func:`repro.lint.run_lint` for the full rule set (cycles,
+        speculation, widths, sensitivity, ...).
+        """
+        from repro.lint.rules import core_structural_problems
+
+        problems = core_structural_problems(self)
         if problems:
-            raise NetlistError("; ".join(problems))
+            raise NetlistError(
+                "; ".join(message for _code, message, _node, _ch in problems)
+            )
         return True
 
     # -- state management (simulation / model checking) ---------------------------------

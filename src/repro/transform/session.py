@@ -42,9 +42,19 @@ from repro.transform.sharing import share_blocks
 class Session:
     """An undoable transformation session over an elastic netlist."""
 
-    def __init__(self, netlist, max_history=64):
+    def __init__(self, netlist, max_history=64, lint_after_transforms=False,
+                 lint_rules=None):
         self.netlist = netlist.clone()
         self.max_history = max_history
+        #: when True, every transformation additionally runs the lint rule
+        #: set (``lint_rules``, default: the static rules) with
+        #: ``fail_on="error"`` *inside* the rollback scope — a transform
+        #: that produces a design violating an elastic invariant (e.g. a
+        #: zero-bubble cycle) is rolled back like a validation failure,
+        #: and the raised :class:`~repro.errors.LintError` carries the
+        #: full report.
+        self.lint_after_transforms = lint_after_transforms
+        self.lint_rules = lint_rules
         self._undo = []          # (kind, [forward edits]) entries
         self._redo = []
         self.log = []
@@ -78,6 +88,11 @@ class Session:
             # pre-transform design, not leave the session on the corrupted
             # one.
             self.netlist.validate()
+            if self.lint_after_transforms:
+                from repro.lint import run_lint
+
+                run_lint(self.netlist, rules=self.lint_rules,
+                         fail_on="error")
         except Exception:
             self._recording = None
             self._replay(edits, inverse=True)
@@ -134,9 +149,10 @@ class Session:
     def early_eval(self, mux):
         return self._apply(f"early_eval {mux}", convert_to_early_eval, mux)
 
-    def share(self, funcs, scheduler, name=None):
+    def share(self, funcs, scheduler, name=None, check_same_fn=True):
         return self._apply(
-            f"share {' '.join(funcs)}", share_blocks, list(funcs), scheduler, name=name
+            f"share {' '.join(funcs)}", share_blocks, list(funcs), scheduler,
+            name=name, check_same_fn=check_same_fn,
         )
 
     # -- command-string interface --------------------------------------------------
@@ -147,8 +163,11 @@ class Session:
             insert_bubble ch_f_out
             shannon mux0 F
             early_eval mux0
-            share F_c0 F_c1 --scheduler=toggle
+            share F_c0 F_c1 --scheduler=toggle [--force]
             undo / redo
+
+        ``--force`` shares blocks even when they compute different
+        functions (``check_same_fn=False``).
 
         ``schedulers`` maps names usable in ``--scheduler=`` to factory
         callables ``(n_channels) -> Scheduler``.
@@ -198,7 +217,8 @@ class Session:
             if factory_name not in factories:
                 raise TransformError(f"unknown scheduler {factory_name!r}")
             scheduler = factories[factory_name](len(positional))
-            return self.share(positional, scheduler, name=options.get("name"))
+            return self.share(positional, scheduler, name=options.get("name"),
+                              check_same_fn=not options.get("force"))
         if op == "undo":
             return self.undo()
         if op == "redo":

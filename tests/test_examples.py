@@ -50,6 +50,13 @@ class TestExamples:
         assert (tmp_path / "speculative_loop.smv").exists()
         assert (tmp_path / "speculative_loop.dot").exists()
 
+    def test_lint_designs(self):
+        out = run_example("lint_designs.py")
+        assert "clean" in out
+        assert "E102" in out and "E103" in out and "E004" in out
+        assert "undeclared reads caught" in out
+        assert "lint walkthrough complete" in out
+
     @pytest.mark.slow
     def test_verification_walkthrough(self):
         out = run_example("verification_walkthrough.py", timeout=1200)

@@ -1,0 +1,167 @@
+"""Tests for the sensitivity-soundness auditor (``repro.lint.audit``).
+
+Every engine optimization — the worklist scheduler, the incremental
+sensitivity map, the batch kernels — trusts each node's ``comb_reads()`` /
+``comb_writes()`` declarations without ever checking them.  The auditor
+executes ``comb()`` against recording channel proxies under fuzzed channel
+states; these tests pin **declared == observed** for every built-in node
+kind (so drift becomes a test failure, not a silent missed wakeup) and
+prove a deliberately mis-declared node is caught."""
+
+import pytest
+
+from repro.core import SharedModule, StaticScheduler
+from repro.elastic import (
+    AbstractElasticFifo,
+    EagerFork,
+    EarlyEvalMux,
+    ElasticBuffer,
+    Func,
+    FunctionSource,
+    KillerSink,
+    ListSource,
+    NondetSink,
+    NondetSource,
+    Sink,
+    VariableLatencyUnit,
+    ZeroBackwardLatencyBuffer,
+)
+from repro.elastic.environment import NondetChoiceSource
+from repro.lint import audit_netlist, audit_node, run_lint
+from repro.netlist import Netlist, patterns
+
+
+def _ident(v):
+    return v
+
+
+#: every built-in node kind, with the sequential states (when the default
+#: reset state cannot reach every declared read — e.g. a ZBL buffer only
+#: consults its environment's back-pressure while *full*).
+BUILTIN_NODES = {
+    "eb_empty": (lambda: ElasticBuffer("n", capacity=2), None),
+    "eb_full": (lambda: ElasticBuffer("n", init=(1, 2), capacity=2), None),
+    "zbl": (lambda: ZeroBackwardLatencyBuffer("n"),
+            [(True, 7), (False, None)]),
+    "func": (lambda: Func("n", fn=lambda a, b: a, n_inputs=2), None),
+    "fork": (lambda: EagerFork("n", n_outputs=2), None),
+    "eemux": (lambda: EarlyEvalMux("n", n_inputs=2), None),
+    "varlat": (lambda: VariableLatencyUnit("n", fn=_ident, err_fn=_ident),
+               None),
+    "list_source": (lambda: ListSource("n", [1, 2]), None),
+    "function_source": (lambda: FunctionSource("n", fn=_ident), None),
+    "sink": (lambda: Sink("n"), None),
+    "killer_sink": (lambda: KillerSink("n"), None),
+    "nondet_source": (lambda: NondetSource("n"), None),
+    "nondet_sink": (lambda: NondetSink("n", can_kill=True), None),
+    "nondet_choice_source": (lambda: NondetChoiceSource("n"), None),
+    "abstract_fifo": (lambda: AbstractElasticFifo("n"), None),
+}
+
+
+class TestBuiltinKinds:
+    @pytest.mark.parametrize("tag", sorted(BUILTIN_NODES))
+    def test_declared_matches_observed(self, tag):
+        factory, states = BUILTIN_NODES[tag]
+        audit = audit_node(factory(), states=states)
+        assert audit.undeclared_reads == frozenset(), (
+            f"{tag}: comb() reads beyond comb_reads(): "
+            f"{sorted(audit.undeclared_reads)}")
+        assert audit.undeclared_writes == frozenset(), (
+            f"{tag}: comb() writes beyond comb_writes(): "
+            f"{sorted(audit.undeclared_writes)}")
+        # the fuzz schedule must also *reach* every declared read, or the
+        # declaration could rot into an over-approximation unnoticed
+        assert audit.observed_reads == audit.declared_reads, (
+            f"{tag}: declared reads never observed: "
+            f"{sorted(audit.declared_reads - audit.observed_reads)}")
+
+    def test_shared_module_covers_both_predictions(self):
+        # The shared module reads o<j>.sp only for the currently predicted
+        # channel, so one schedule covers one prediction; the union over
+        # both static favourites must equal the declaration.
+        audits = [
+            audit_node(SharedModule(
+                "n", fn=_ident,
+                scheduler=StaticScheduler(2, favourite=favourite),
+                n_channels=2))
+            for favourite in (0, 1)
+        ]
+        for audit in audits:
+            assert audit.ok
+        union = audits[0].observed_reads | audits[1].observed_reads
+        assert union == audits[0].declared_reads
+
+    def test_audit_does_not_perturb_the_node(self):
+        eb = ElasticBuffer("n", init=(1, 2), capacity=2)
+        before = eb.snapshot()
+        audit_node(eb)
+        assert eb.snapshot() == before
+        assert eb._channels == {}
+
+
+class TestWholeNetlistAudit:
+    def test_table1_design_is_sound(self):
+        net, _ = patterns.table1_design()
+        for audit in audit_netlist(net):
+            assert audit.ok, (
+                f"{audit.node} ({audit.kind}): "
+                f"reads {sorted(audit.undeclared_reads)}, "
+                f"writes {sorted(audit.undeclared_writes)}")
+
+    def test_audit_runs_on_a_clone(self):
+        net, _ = patterns.table1_design()
+        snap = net.snapshot()
+        audit_netlist(net)
+        assert net.snapshot() == snap
+
+
+# -- deliberate mis-declarations are caught ------------------------------------
+
+
+class UnderDeclaredReads(Func):
+    """Declares one data read fewer than comb() performs."""
+
+    def comb_reads(self):
+        return [(port, signal) for port, signal in super().comb_reads()
+                if (port, signal) != ("i0", "data")]
+
+
+class UndeclaredWrite(Func):
+    """Drives a consumer-side signal comb_writes() does not admit to."""
+
+    def comb(self):
+        changed = super().comb()
+        changed |= self.drive("o", "sp", True)
+        return changed
+
+
+def _one_func_net(cls):
+    net = Netlist("lie")
+    net.add(ListSource("src", [1]))
+    net.add(cls("F", fn=_ident, n_inputs=1))
+    net.add(Sink("snk"))
+    net.connect("src.o", "F.i0")
+    net.connect("F.o", "snk.i")
+    return net
+
+
+class TestMisdeclarationsCaught:
+    def test_undeclared_read_flagged_e110(self):
+        net = _one_func_net(UnderDeclaredReads)
+        [audit] = [a for a in audit_netlist(net) if a.node == "F"]
+        assert ("i0", "data") in audit.undeclared_reads
+        report = run_lint(net, rules="all")
+        [diag] = [d for d in report.errors if d.code == "E110"]
+        assert diag.node == "F" and "i0.data" in diag.message
+
+    def test_undeclared_write_flagged_e111(self):
+        net = _one_func_net(UndeclaredWrite)
+        report = run_lint(net, rules="all")
+        [diag] = [d for d in report.errors if d.code == "E111"]
+        assert diag.node == "F" and "o.sp" in diag.message
+
+    def test_sensitivity_rule_is_opt_in(self):
+        # the mis-declaration is invisible to the static default set
+        report = run_lint(_one_func_net(UnderDeclaredReads))
+        assert not any(d.code in ("E110", "E111") for d in report.diagnostics)
