@@ -12,6 +12,8 @@ Usage (after installation)::
     python -m repro sweep [--grid fig6] [--workers 4] [--lanes 8]  # sharded sweeps
     python -m repro explore SCRIPT [--design fig1a] [--measure CH]  # warm transform loop
     python -m repro lint [SCRIPT] [--design fig1a] [--json] [--fail-on warning]  # static analysis
+    python -m repro serve ROOT [--max-queue 8] [--deadline S]   # persistent job server
+    python -m repro submit KIND --root ROOT [--design D]        # run a job on the server
 
 The global ``--engine {worklist,naive,batch}`` option (before the
 subcommand) selects the fix-point engine for every simulation and
@@ -25,7 +27,11 @@ Long-running subcommands are resilient: ``sweep`` and ``verify`` accept
 ``--checkpoint`` / ``--timeout`` / ``--retries`` (supervised workers with
 kill-and-respawn, atomic checksummed checkpoints, resume after a crash or
 Ctrl-C — see :mod:`repro.runtime`), and an interrupt exits with the
-conventional status 130 after flushing the last consistent checkpoint.
+conventional status — 130 for SIGINT, 143 for SIGTERM — after flushing
+the last consistent checkpoint.  ``serve`` drains gracefully on either
+signal: the running job stops at its checkpoint boundary, queued jobs
+stay journaled and a restarted server finishes them (see
+:mod:`repro.serve`).
 
 Each subcommand prints the same tables the benchmarks regenerate, so the
 paper's results are reproducible without pytest.
@@ -143,6 +149,9 @@ def _cmd_fig7(args):
 
 def _cmd_verify(args):
     from repro.core.scheduler import NondetScheduler, StaticScheduler, ToggleScheduler
+    from repro.runtime.control import install_term_handler
+
+    install_term_handler()
     from repro.elastic.buffers import ElasticBuffer, ZeroBackwardLatencyBuffer
     from repro.elastic.environment import NondetSink, NondetSource
     from repro.netlist import patterns
@@ -245,15 +254,10 @@ def _cmd_verify(args):
     return 1 if failures else 0
 
 
-# The fig6b/fig7b entries use pure (index-seeded) op streams so that
-# resetting and re-running replays the same tokens — `explore --measure`
-# scores every design point reproducibly on its warm simulator.
-_DESIGNS = {
-    "fig1a": lambda: __import__("repro.netlist.patterns", fromlist=["x"]).fig1a(lambda g: g % 2)[0],
-    "fig1d": lambda: __import__("repro.netlist.patterns", fromlist=["x"]).table1_design()[0],
-    "fig6b": lambda: __import__("repro.netlist.varlat", fromlist=["x"]).variable_latency_speculative(pure_stream=True)[0],
-    "fig7b": lambda: __import__("repro.netlist.resilient", fromlist=["x"]).resilient_speculative(pure_stream=True)[0],
-}
+# The canned design registry is shared with the job server (`repro
+# serve` resolves the same names), so it lives in repro.designs; the
+# alias keeps this module's historical spelling.
+from repro.designs import DESIGNS as _DESIGNS
 
 
 def _cmd_profile(args):
@@ -269,7 +273,9 @@ def _cmd_profile(args):
 def _cmd_sweep(args):
     from repro.perf.presets import PRESET_SWEEPS
     from repro.perf.sweep import run_sweep
+    from repro.runtime.control import install_term_handler, interrupt_exit_code
 
+    install_term_handler()
     kwargs = {}
     if args.cycles is not None:
         kwargs["cycles"] = args.cycles
@@ -293,7 +299,7 @@ def _cmd_sweep(args):
         else:
             print("\ninterrupted (no --checkpoint; progress lost)",
                   file=sys.stderr)
-        return 130
+        return interrupt_exit_code()
     print(result.table())
     print(f"\n{len(result.rows)} configurations in "
           f"{result.elapsed_seconds:.2f}s on {args.workers} worker(s) "
@@ -388,6 +394,85 @@ def _cmd_lint(args):
         print(f"design={args.design} rules={','.join(report.rules)}")
         print(report.format())
     return 1 if report.exceeds(args.fail_on) else 0
+
+
+def _cmd_serve(args):
+    from repro.runtime.control import install_term_handler
+    from repro.serve.server import serve_forever
+
+    # Parity fallback: where the event loop cannot own the signal
+    # (non-main thread, exotic platforms) SIGTERM still flushes and exits
+    # 143 through the KeyboardInterrupt path.
+    install_term_handler()
+    fault_plan = None
+    if args.faults:
+        # JSON list of Fault field dicts — the resilience suites drive a
+        # real subprocess server through every failure site with this.
+        import json
+
+        from repro.runtime.faults import Fault, FaultPlan
+
+        with open(args.faults) as fh:
+            fault_plan = FaultPlan([Fault(**spec) for spec in json.load(fh)])
+    return serve_forever(
+        args.root, socket_path=args.socket, host=args.host, port=args.port,
+        max_queue=args.max_queue, retries=args.retries,
+        deadline=args.deadline, cache_entries=args.cache_entries,
+        engine=args.engine, fault_plan=fault_plan)
+
+
+def _cmd_submit(args):
+    import json
+
+    from repro.errors import JobRejected, ServeError
+    from repro.serve.client import ServeClient
+
+    try:
+        client = ServeClient(root=args.root, timeout=args.timeout)
+        if args.kind == "status":
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        if args.kind == "shutdown":
+            client.shutdown()
+            print("server draining")
+            return 0
+        spec = {"kind": args.kind}
+        for name in ("design", "grid", "channel", "cycles", "warmup",
+                     "max_states", "lanes", "rules", "seed"):
+            value = getattr(args, name, None)
+            if value is not None:
+                spec[name] = value
+
+        def on_event(event):
+            if args.json:
+                return
+            if event["type"] == "accepted":
+                print(f"job {event['job']} accepted "
+                      f"(key {event['key'][:12]}, "
+                      f"queue depth {event['queue_depth']})")
+            elif event["type"] == "retry":
+                print(f"attempt {event['attempt']} failed: {event['error']}; "
+                      f"retrying")
+
+        terminal = client.submit(spec, deadline=args.deadline,
+                                 fresh=args.fresh, on_event=on_event)
+    except JobRejected as exc:
+        print(f"rejected: {exc}", file=sys.stderr)
+        return 75       # EX_TEMPFAIL: back off and retry
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(terminal, indent=2, sort_keys=True))
+        return 0 if terminal["type"] == "result" else 1
+    if terminal["type"] == "result":
+        source = "cache" if terminal.get("cached") else "fresh run"
+        print(f"result ({source}):")
+        print(json.dumps(terminal["payload"], indent=2, sort_keys=True))
+        return 0
+    detail = terminal.get("error") or terminal.get("reason") or ""
+    print(f"{terminal['type']}: {detail}", file=sys.stderr)
+    return 1
 
 
 def _cmd_export(args):
@@ -537,6 +622,70 @@ def build_parser():
     p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(
+        "serve",
+        help="persistent job server: queued sweep/verify/measure/lint jobs "
+             "with a verified result cache",
+    )
+    p.add_argument("root",
+                   help="server root directory (socket, journal, cache and "
+                        "job checkpoints live here)")
+    p.add_argument("--socket", default=None,
+                   help="unix socket path (default: ROOT/serve.sock)")
+    p.add_argument("--host", default=None,
+                   help="serve on localhost TCP instead of a unix socket")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port (default: ephemeral; the bound port is "
+                        "published in ROOT/endpoint.json)")
+    p.add_argument("--max-queue", type=int, default=8,
+                   help="admission bound: queued+running jobs beyond this "
+                        "are rejected with structured backpressure")
+    p.add_argument("--retries", type=int, default=1,
+                   help="execution retries per job before quarantine")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="default per-job wall-clock deadline in seconds")
+    p.add_argument("--cache-entries", type=int, default=256,
+                   help="result-cache capacity (LRU eviction beyond it)")
+    p.add_argument("--faults", metavar="JSON", default=None,
+                   help="fault-injection plan file (resilience testing)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit one job to a running server and stream its outcome",
+    )
+    p.add_argument("kind",
+                   choices=["measure", "verify", "lint", "sweep", "status",
+                            "shutdown"],
+                   help="job kind (or the status / shutdown server ops)")
+    p.add_argument("--root", required=True,
+                   help="server root directory (endpoint discovery)")
+    p.add_argument("--design", default=None,
+                   help="design name (measure/lint: fig1a fig1d fig6b "
+                        "fig7b; verify: eb zbl spec-toggle spec-nondet "
+                        "spec-static)")
+    p.add_argument("--grid", default=None,
+                   help="sweep preset grid (sweep jobs)")
+    p.add_argument("--channel", default=None,
+                   help="measurement channel (measure jobs)")
+    p.add_argument("--cycles", type=int, default=None)
+    p.add_argument("--warmup", type=int, default=None)
+    p.add_argument("--max-states", type=int, default=None, dest="max_states")
+    p.add_argument("--lanes", type=int, default=None)
+    p.add_argument("--rules", choices=["all"], default=None,
+                   help="lint rule set override")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="wall-clock deadline for this job in seconds")
+    p.add_argument("--fresh", action="store_true",
+                   help="bypass the result cache (the fresh result still "
+                        "refreshes it)")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="client-side reply timeout in seconds")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw terminal event as JSON")
+    p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
         "profile", help="per-node-kind comb() call counts and sweep histograms"
     )
     p.add_argument("--design", choices=sorted(_DESIGNS), default="fig1d")
@@ -562,10 +711,13 @@ def main(argv=None):
         return args.fn(args)
     except KeyboardInterrupt:
         # Checkpointing commands flushed their last consistent boundary
-        # before the interrupt propagated this far (and `sweep` returns
-        # 130 itself, with a resume hint); conventional 128+SIGINT.
+        # before the interrupt propagated this far (and `sweep` exits
+        # itself, with a resume hint); conventional 128+signal — 130 for
+        # SIGINT, 143 when the installed SIGTERM handler fired.
+        from repro.runtime.control import interrupt_exit_code
+
         print("\ninterrupted", file=sys.stderr)
-        return 130
+        return interrupt_exit_code()
 
 
 if __name__ == "__main__":

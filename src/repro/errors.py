@@ -88,6 +88,38 @@ class LintError(ElasticError):
         )
 
 
+class ServeError(ElasticError):
+    """A job-service failure (:mod:`repro.serve`): protocol violation on the
+    wire, malformed or unknown job spec, journal trouble — anything the
+    server turns into a structured error event instead of a dead
+    connection."""
+
+
+class JobRejected(ServeError):
+    """The admission controller refused a job: the bounded queue is full or
+    the server is draining.  Structured backpressure — the client is told
+    the queue depth and can retry later — never a hang or a dropped
+    connection."""
+
+    def __init__(self, detail, queue_depth=None, max_queue=None):
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+        super().__init__(detail)
+
+
+class JobCancelled(ServeError):
+    """A job was cancelled cooperatively (client cancel or server drain)
+    at a checkpoint boundary — completed work is already durable in the
+    job's checkpoint; nothing after the boundary ran."""
+
+
+class DeadlineExceeded(JobCancelled):
+    """A job blew its wall-clock deadline and was stopped at the next
+    checkpoint boundary (a cancellation with a specific cause, hence the
+    :class:`JobCancelled` parentage — both stop at boundaries with
+    durable progress)."""
+
+
 class CheckpointError(ElasticError):
     """A checkpoint file could not be trusted: missing header, checksum
     mismatch (truncated or corrupted body), wrong kind, or a content-address

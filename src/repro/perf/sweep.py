@@ -99,6 +99,7 @@ from repro.errors import ElasticError
 from repro.perf.report import PerfReport, format_report_table, performance_report
 from repro.runtime import faults
 from repro.runtime.checkpoint import content_key, load_checkpoint, save_checkpoint
+from repro.runtime.control import jittered_backoff, task_key
 from repro.runtime.supervisor import Supervisor, SupervisorStats
 from repro.sim.engine import ENGINES, get_default_engine, set_default_engine
 
@@ -532,7 +533,10 @@ def _serial_chunk(chunk, retries, backoff, stats, on_rows, failures):
                 ))
                 return
             stats.retries += 1
-            time.sleep(backoff * (2 ** attempt))
+            time.sleep(jittered_backoff(
+                backoff, attempt,
+                key=task_key([p["index"] for p in chunk["payloads"]]),
+            ))
             attempt += 1
         else:
             on_rows(rows)
@@ -541,7 +545,7 @@ def _serial_chunk(chunk, retries, backoff, stats, on_rows, failures):
 
 def run_sweep(spec, n_workers=1, engine=None, lanes=1, timeout=None,
               retries=0, backoff=0.05, checkpoint=None, fault_plan=None,
-              on_error="collect"):
+              on_error="collect", control=None):
     """Expand ``spec`` and measure every configuration, supervised.
 
     ``n_workers=1`` runs in-process; ``n_workers>1`` shards the
@@ -580,6 +584,14 @@ def run_sweep(spec, n_workers=1, engine=None, lanes=1, timeout=None,
     On :class:`KeyboardInterrupt` the latest completed rows are already
     durable in ``checkpoint`` (one atomic write per completed chunk); the
     interrupt propagates so callers can exit 130.
+
+    ``control`` — an optional :class:`~repro.runtime.control.JobControl`:
+    after every completed chunk (a checkpoint boundary — the rows are
+    already saved) the sweep publishes progress and, when a cancellation
+    or deadline stop was requested, raises the matching structured error
+    (:class:`~repro.errors.JobCancelled` /
+    :class:`~repro.errors.DeadlineExceeded`).  A later run with the same
+    ``checkpoint`` resumes exactly where the stop landed.
     """
     if lanes < 1:
         raise ValueError(f"lanes must be >= 1, got {lanes}")
@@ -632,22 +644,34 @@ def run_sweep(spec, n_workers=1, engine=None, lanes=1, timeout=None,
                 {"rows": [done[i] for i in sorted(done)]}, codec="json",
             )
 
+    def _chunk_boundary(rows):
+        """Per-completed-chunk checkpoint boundary: record, make durable,
+        then honour any pending cancellation / deadline (raising here is
+        safe — everything done so far is already saved)."""
+        _record_rows(rows)
+        _save()
+        if control is not None:
+            control.raise_if_stopped("sweep_chunk", done=len(done),
+                                     total=len(payloads))
+
     failures = []
     stats = SupervisorStats()
     chunks = _make_chunks(remaining, lanes, n_workers, fault_plan)
+    if control is not None:
+        control.raise_if_stopped("sweep_start", done=len(done),
+                                 total=len(payloads))
     start = time.perf_counter()
     try:
         if n_workers <= 1 or not chunks:
             for chunk in chunks:
                 _serial_chunk(chunk, retries, backoff, stats,
-                              lambda rows: (_record_rows(rows), _save()),
-                              failures)
+                              _chunk_boundary, failures)
         else:
             supervisor = Supervisor(
                 "repro.perf.sweep:_supervised_chunk",
                 n_workers=n_workers, timeout=timeout, retries=retries,
                 backoff=backoff, split=_split_chunk,
-                on_result=lambda task, rows: (_record_rows(rows), _save()),
+                on_result=lambda task, rows: _chunk_boundary(rows),
             )
             _results, task_failures = supervisor.run(
                 chunks, weights=[len(c["payloads"]) for c in chunks]

@@ -5,9 +5,12 @@ The compute layer under the design-space sweeps
 (:class:`~repro.verif.explore.StateExplorer`): process supervision with
 timeout / retry / respawn (:mod:`~repro.runtime.supervisor`), atomic
 checksummed content-addressed checkpoints
-(:mod:`~repro.runtime.checkpoint`), and a deterministic fault-injection
+(:mod:`~repro.runtime.checkpoint`), a deterministic fault-injection
 harness (:mod:`~repro.runtime.faults`) that makes every recovery path
-differentially testable against an unfaulted run.
+differentially testable against an unfaulted run, and the shared
+job-control plumbing (:mod:`~repro.runtime.control`): cooperative
+cancellation / deadlines at checkpoint boundaries, seeded retry jitter
+and SIGTERM-parity signal handling.
 """
 
 from repro.runtime.checkpoint import (
@@ -16,6 +19,14 @@ from repro.runtime.checkpoint import (
     content_key,
     load_checkpoint,
     save_checkpoint,
+)
+from repro.runtime.control import (
+    JobControl,
+    install_term_handler,
+    interrupt_exit_code,
+    jittered_backoff,
+    task_key,
+    term_signal_fired,
 )
 from repro.runtime.faults import (
     Fault,
@@ -36,6 +47,12 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_text",
     "content_key",
+    "JobControl",
+    "install_term_handler",
+    "interrupt_exit_code",
+    "jittered_backoff",
+    "task_key",
+    "term_signal_fired",
     "load_checkpoint",
     "save_checkpoint",
     "Fault",

@@ -57,13 +57,38 @@ _CODECS = {
 }
 
 
+def _fsync_directory(directory):
+    """Best-effort fsync of a directory entry table.
+
+    ``os.replace`` makes the rename atomic, but only an fsync of the
+    *parent directory* makes it durable — without it a host crash (power
+    loss, kernel panic) can forget the rename and resurrect the old file.
+    Platforms where directories cannot be opened or fsynced (some network
+    filesystems, non-POSIX hosts) degrade silently: the write is still
+    atomic, just not crash-durable, which matches the previous behaviour.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_bytes(path, data):
-    """Write ``data`` to ``path`` atomically (temp file + :func:`os.replace`).
+    """Write ``data`` to ``path`` atomically and durably (temp file +
+    fsync + :func:`os.replace` + parent-directory fsync).
 
     The temporary file lives in the target's directory so the final rename
     never crosses a filesystem boundary; on any failure before the rename
     the temp file is removed and the previous ``path`` content is intact.
-    Returns ``path``.
+    After the rename the parent directory is fsynced (best-effort) so a
+    host crash cannot lose the rename itself.  Returns ``path``.
     """
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp_path = tempfile.mkstemp(
@@ -81,6 +106,7 @@ def atomic_write_bytes(path, data):
         except OSError:
             pass
         raise
+    _fsync_directory(directory)
     return path
 
 

@@ -18,8 +18,11 @@ production scheduler has:
 * **Respawn** — dead or killed workers are replaced immediately; the pool
   never shrinks below its target width while work remains.
 * **Retry with exponential backoff** — a failed task is retried up to
-  ``retries`` times, waiting ``backoff * 2**attempt`` seconds between
-  attempts; the attempt number is shipped inside the task payload so
+  ``retries`` times, waiting ``backoff * 2**attempt`` seconds (scaled by
+  a deterministic task-seeded jitter in ``[0.5, 1.5)`` — see
+  :func:`repro.runtime.control.jittered_backoff` — so simultaneous
+  failures do not retry in lockstep) between attempts; the attempt
+  number is shipped inside the task payload so
   deterministic fault schedules (:mod:`repro.runtime.faults`) are
   exhausted by retries even across process respawns.
 * **Graceful degradation** — a task that exhausts its retry budget
@@ -46,6 +49,8 @@ import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection
+
+from repro.runtime.control import jittered_backoff, task_key
 
 
 def usable_cpus():
@@ -153,7 +158,8 @@ class Supervisor:
     retries:
         Per-task retry budget after the first attempt.
     backoff:
-        Base of the exponential retry delay (``backoff * 2**attempt``).
+        Base of the exponential retry delay (``backoff * 2**attempt``,
+        task-seeded jitter applied on top).
     split:
         Optional ``split(task) -> list[(task, weight)] | None``; called
         when a multi-item task fails, to isolate the poison item without
@@ -189,12 +195,26 @@ class Supervisor:
         child_conn.close()
         return _Worker(process=process, conn=parent_conn)
 
+    @staticmethod
+    def _stop_process(process, grace=0.25):
+        """Stop a worker process: SIGTERM first (a chance to run cleanup
+        handlers and flush), escalate to SIGKILL only after ``grace``
+        seconds — the same courtesy every production supervisor extends
+        before resorting to the hard kill."""
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=grace)
+        if process.is_alive():
+            process.kill()
+        process.join(timeout=5)
+
     def _reap(self, worker, kill=False):
-        """Dispose of a worker (already dead, or to be killed)."""
+        """Dispose of a worker (already dead, or to be stopped)."""
         try:
-            if kill and worker.process.is_alive():
-                worker.process.kill()
-            worker.process.join(timeout=5)
+            if kill:
+                self._stop_process(worker.process)
+            else:
+                worker.process.join(timeout=5)
         finally:
             worker.conn.close()
 
@@ -207,8 +227,7 @@ class Supervisor:
         for worker in workers:
             worker.process.join(timeout=1)
             if worker.process.is_alive():
-                worker.process.kill()
-                worker.process.join(timeout=5)
+                self._stop_process(worker.process)
             worker.conn.close()
 
     # -- scheduling ---------------------------------------------------------
@@ -231,7 +250,10 @@ class Supervisor:
                 return
         if item.attempt < self.retries:
             self.stats.retries += 1
-            delay = self.backoff * (2 ** item.attempt)
+            # Seeded jitter (deterministic per task) spreads simultaneous
+            # failures apart instead of retrying them in lockstep.
+            delay = jittered_backoff(self.backoff, item.attempt,
+                                     key=task_key(item.task))
             ready.append(_Item(
                 id=item.id, task=item.task, weight=item.weight,
                 attempt=item.attempt + 1,

@@ -1,0 +1,121 @@
+"""Content-addressed, checksummed, size-bounded result cache.
+
+One file per result under ``<root>/cache/<key>.ckpt``, written through
+:func:`~repro.runtime.checkpoint.save_checkpoint` — so every entry
+carries the checkpoint format's SHA-256 body checksum and the job's
+content-address in its header, and every read re-verifies both.  A
+corrupt, truncated or mismatched entry is **evicted and recomputed**,
+never served: :meth:`get` treats any
+:class:`~repro.errors.CheckpointError` as a miss after unlinking the
+bad file.
+
+Capacity is bounded by entry count with LRU eviction.  Recency is
+tracked through file mtimes driven by a monotonic logical clock (two
+touches inside one OS timestamp granule would otherwise tie), so the
+order survives server restarts — the files *are* the LRU state.
+
+Writes pass through ``fault_point("serve_cache", key)``: the fault
+suites pin that a failed cache write degrades to an uncached (but still
+correct) reply, and that an injected corruption is detected on the next
+read.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.errors import CheckpointError
+from repro.runtime.checkpoint import load_checkpoint, save_checkpoint
+from repro.runtime.faults import fault_point
+
+_KIND = "serve-result"
+
+
+class ResultCache:
+    """Verified result store for one server root."""
+
+    def __init__(self, root, max_entries=256):
+        self.directory = os.path.join(root, "cache")
+        os.makedirs(self.directory, exist_ok=True)
+        self.max_entries = max(1, int(max_entries))
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.corrupt_evictions = 0
+        # logical LRU clock: strictly increasing mtimes even when many
+        # touches land inside one filesystem timestamp granule
+        self._clock = int(time.time())
+
+    def path(self, key):
+        return os.path.join(self.directory, f"{key}.ckpt")
+
+    def _touch(self, path):
+        self._clock += 1
+        try:
+            os.utime(path, (self._clock, self._clock))
+        except OSError:
+            pass
+
+    def get(self, key):
+        """The cached payload for ``key``, or ``None`` (miss).
+
+        A file that fails any integrity check — bad magic, checksum
+        mismatch, foreign key — is unlinked and reported as a miss; the
+        caller recomputes and overwrites it.
+        """
+        path = self.path(key)
+        try:
+            payload = load_checkpoint(path, _KIND, key)
+        except CheckpointError:
+            self.corrupt_evictions += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            payload = None
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touch(path)
+        return payload
+
+    def put(self, key, payload):
+        """Store ``payload`` under ``key`` (atomic + durable), then trim
+        the cache back under ``max_entries`` oldest-first."""
+        fault_point("serve_cache", key)
+        path = save_checkpoint(self.path(key), _KIND, key, payload,
+                               codec="json")
+        self._touch(path)
+        self._trim()
+        return path
+
+    def _trim(self):
+        try:
+            names = [n for n in os.listdir(self.directory)
+                     if n.endswith(".ckpt")]
+        except OSError:
+            return
+        excess = len(names) - self.max_entries
+        if excess <= 0:
+            return
+        def mtime(name):
+            try:
+                return os.stat(os.path.join(self.directory, name)).st_mtime
+            except OSError:
+                return 0.0
+        for name in sorted(names, key=lambda n: (mtime(n), n))[:excess]:
+            try:
+                os.unlink(os.path.join(self.directory, name))
+                self.evictions += 1
+            except OSError:
+                pass
+
+    def stats(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "corrupt_evictions": self.corrupt_evictions,
+        }

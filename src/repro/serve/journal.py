@@ -1,0 +1,99 @@
+"""Crash-safe job journal: what was accepted, what finished, what failed.
+
+The journal is the server's write-ahead log.  A job is journaled
+``submitted`` *before* its acceptance is acknowledged to the client, and
+journaled terminal (``done`` / ``failed`` / ``cancelled``) only after
+its outcome is durable.  A server killed at any instant therefore
+restarts into exactly one of two states per job: *not accepted* (the
+client never got an acceptance either) or *accepted with a known
+outcome-or-pending status* — :meth:`pending` lists the accepted jobs
+with no terminal record, and the server re-enqueues them on startup.
+Combined with each job's own checkpoint file, a SIGKILLed sweep resumes
+mid-grid and completes with byte-identical results.
+
+Physically the journal is one checkpoint-format file rewritten
+atomically per append (temp file + fsync + rename + directory fsync via
+:func:`~repro.runtime.checkpoint.save_checkpoint`): tens of records at
+the queue bound, so the rewrite is cheaper than maintaining a separate
+framed append-log format, and it inherits the checksum verification —
+a torn or corrupted journal fails loudly on load instead of silently
+replaying half a history.
+
+Appends pass through ``fault_point("serve_journal", event)`` *before*
+mutating in-memory state, so an injected journal failure leaves the
+journal and the record list consistent (the record simply never
+happened) and the server degrades per call site: a failed ``submitted``
+append rejects the job, a failed terminal append still delivers the
+result with a warning.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.checkpoint import load_checkpoint, save_checkpoint
+from repro.runtime.faults import fault_point
+
+_KIND = "serve-journal"
+_KEY = "journal-v1"
+
+#: events that end a job's lifecycle (anything journaled ``submitted``
+#: without one of these is pending and re-enqueued on restart)
+TERMINAL_EVENTS = ("done", "failed", "cancelled")
+
+
+class JobJournal:
+    """Append-only job history backed by one atomic checkpoint file."""
+
+    def __init__(self, path):
+        self.path = path
+        self.records = []
+
+    def load(self):
+        """Read the journal back; loud
+        :class:`~repro.errors.CheckpointError` on corruption, empty
+        history when the file does not exist.  Returns ``self``."""
+        body = load_checkpoint(self.path, _KIND, _KEY)
+        self.records = list(body["records"]) if body else []
+        return self
+
+    def append(self, event, job_id, key=None, spec=None, **extra):
+        """Durably append one record; returns it.
+
+        The fault point fires before any state changes, and a failed
+        save rolls the in-memory list back — an append either fully
+        happened or fully didn't.
+        """
+        fault_point("serve_journal", event)
+        record = {"event": event, "job": job_id}
+        if key is not None:
+            record["key"] = key
+        if spec is not None:
+            record["spec"] = spec
+        record.update(extra)
+        self.records.append(record)
+        try:
+            save_checkpoint(self.path, _KIND, _KEY,
+                            {"records": self.records}, codec="json")
+        except BaseException:
+            self.records.pop()
+            raise
+        return record
+
+    def pending(self):
+        """Accepted-but-unfinished jobs, in submission order: a list of
+        ``(job_id, key, spec)`` tuples."""
+        finished = {r["job"] for r in self.records
+                    if r["event"] in TERMINAL_EVENTS}
+        return [(r["job"], r.get("key"), r.get("spec"))
+                for r in self.records
+                if r["event"] == "submitted" and r["job"] not in finished]
+
+    def max_job_id(self):
+        """Highest numeric job id journaled (0 when empty) — restart
+        continues the id sequence instead of reusing live ids."""
+        best = 0
+        for record in self.records:
+            try:
+                best = max(best, int(record["job"]))
+            except (KeyError, TypeError, ValueError):
+                pass
+        return best

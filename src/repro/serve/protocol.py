@@ -1,0 +1,106 @@
+"""Length-prefixed JSON wire protocol for the job server.
+
+One message = a 4-byte big-endian body length followed by a UTF-8 JSON
+object rendered with ``sort_keys=True`` (byte-stable for identical
+payloads — the tests diff raw replies).  The same framing is spoken by
+the asyncio server (:func:`read_message` / :func:`write_message`) and
+the blocking client (:func:`recv_message` / :func:`send_message`), so
+there is exactly one place a framing bug could live.
+
+A clean EOF before the first length byte decodes to ``None`` (peer went
+away between messages); EOF in the middle of a frame, an oversized
+length, or a non-JSON body raise :class:`~repro.errors.ServeError` — a
+torn frame is never silently truncated into a shorter message.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import ServeError
+
+#: refuse frames beyond this many body bytes (a corrupted length prefix
+#: must not make either side try to buffer gigabytes)
+MAX_MESSAGE = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_message(payload):
+    """Frame ``payload`` (a JSON-serializable object) into wire bytes."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_MESSAGE:
+        raise ServeError(f"message of {len(body)} bytes exceeds the "
+                         f"{MAX_MESSAGE}-byte frame limit")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_body(body):
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(f"undecodable message body: {exc}") from exc
+
+
+def _check_length(length):
+    if length > MAX_MESSAGE:
+        raise ServeError(f"incoming frame of {length} bytes exceeds the "
+                         f"{MAX_MESSAGE}-byte limit")
+
+
+async def read_message(reader):
+    """Read one message from an asyncio stream; ``None`` on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ServeError("connection closed inside a frame header") from exc
+    (length,) = _LENGTH.unpack(header)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ServeError("connection closed inside a frame body") from exc
+    return decode_body(body)
+
+
+async def write_message(writer, payload):
+    """Write one message to an asyncio stream and drain."""
+    writer.write(encode_message(payload))
+    await writer.drain()
+
+
+def _recv_exactly(sock, n):
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return b"".join(chunks)
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock):
+    """Read one message from a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exactly(sock, _LENGTH.size)
+    if not header:
+        return None
+    if len(header) < _LENGTH.size:
+        raise ServeError("connection closed inside a frame header")
+    (length,) = _LENGTH.unpack(header)
+    _check_length(length)
+    body = _recv_exactly(sock, length)
+    if len(body) < length:
+        raise ServeError("connection closed inside a frame body")
+    return decode_body(body)
+
+
+def send_message(sock, payload):
+    """Write one message to a blocking socket."""
+    sock.sendall(encode_message(payload))

@@ -198,13 +198,18 @@ class StateExplorer:
 
     def __init__(self, netlist, max_states=20000, check_protocol=True,
                  engine=None, lanes=1, checkpoint=None, checkpoint_every=1000,
-                 time_budget=None):
+                 time_budget=None, control=None):
         self.netlist = netlist
         self.max_states = max_states
         self.check_protocol = check_protocol
         self.checkpoint = checkpoint
         self.checkpoint_every = max(1, int(checkpoint_every))
         self.time_budget = time_budget
+        #: optional :class:`~repro.runtime.control.JobControl`: progress
+        #: is published and cancellation / deadline stops are honoured at
+        #: every state boundary (flush first, then stop — the partial
+        #: result is consistent and, with a checkpoint, resumable).
+        self.control = control
         lanes = int(lanes)
         if lanes < 1:
             raise ValueError(f"lanes must be >= 1, got {lanes}")
@@ -379,8 +384,10 @@ class StateExplorer:
     def _boundary(self, result, current):
         """State-boundary hook, called the instant before expanding state
         ``current``: record the rollback point, fire the fault-injection
-        point, write a periodic checkpoint, and check the time budget.
-        Returns ``True`` when the budget is spent (the caller stops)."""
+        point, write a periodic checkpoint, publish progress, and check
+        the time budget / job control.  Returns ``True`` when the search
+        should stop (``self._stop_reason`` says why; the boundary is
+        already flushed)."""
         self._boundary_state = (current, len(result.states),
                                 len(result.transitions),
                                 len(result.violations), result.complete)
@@ -389,8 +396,19 @@ class StateExplorer:
                 and current - self._last_saved >= self.checkpoint_every):
             self._flush_boundary(result)
             self._last_saved = current
+        if self.control is not None:
+            self.control.progress("explore_state", state=current,
+                                  n_states=len(result.states))
+            reason = self.control.stop_reason()
+            if reason is not None:
+                # Flush before reporting the stop: the caller may unwind,
+                # but the boundary is durable and resumable.
+                self._flush_boundary(result)
+                self._stop_reason = reason
+                return True
         if self._deadline is not None and time.monotonic() >= self._deadline:
             self._flush_boundary(result)
+            self._stop_reason = "time budget exceeded"
             return True
         return False
 
@@ -441,6 +459,7 @@ class StateExplorer:
         start = self._try_resume(result, index)
         self._last_saved = start
         self._boundary_state = None
+        self._stop_reason = None
         self._deadline = (time.monotonic() + self.time_budget
                           if self.time_budget is not None else None)
         try:
@@ -468,7 +487,7 @@ class StateExplorer:
         while frontier:
             current = frontier[0]
             if self._boundary(result, current):
-                result.stopped = "time budget exceeded"
+                result.stopped = self._stop_reason
                 return
             frontier.popleft()
             snapshot, prev_signals = states[current]
@@ -498,7 +517,7 @@ class StateExplorer:
             # every state below frontier[0] is fully expanded.
             if not tasks:
                 if self._boundary(result, frontier[0]):
-                    result.stopped = "time budget exceeded"
+                    result.stopped = self._stop_reason
                     return
             # Refill the pending-expansion queue in exactly the scalar BFS
             # order.  Pre-popping the next frontier states before earlier

@@ -1,0 +1,4 @@
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: spawns real server subprocesses (SIGKILL/SIGTERM cases)")

@@ -439,3 +439,124 @@ def _runner_with_plan(task):
     with faults.plan_scope(task["plan"]), \
             faults.attempt_scope(task.get("attempt", 0)):
         return _double(task)
+
+
+# ---------------------------------------------------------------------------
+# durability, retry-jitter and shutdown-courtesy regressions (PR 8)
+
+
+class TestAtomicWriteDurability:
+    def test_rename_is_followed_by_parent_directory_fsync(self, tmp_path,
+                                                          monkeypatch):
+        """``os.replace`` alone is atomic but not crash-durable — only an
+        fsync of the *parent directory* pins the rename.  Regression: the
+        directory fsync must happen, and must happen after the rename."""
+        from repro.runtime import checkpoint as ckpt
+
+        order = []
+        real_replace = os.replace
+
+        def spy_replace(src, dst):
+            order.append(("replace", os.path.abspath(dst)))
+            return real_replace(src, dst)
+
+        def spy_fsync_dir(directory):
+            order.append(("fsync_dir", os.path.abspath(directory)))
+
+        monkeypatch.setattr(ckpt.os, "replace", spy_replace)
+        monkeypatch.setattr(ckpt, "_fsync_directory", spy_fsync_dir)
+        target = str(tmp_path / "sub" / "state.json")
+        os.makedirs(os.path.dirname(target))
+        ckpt.atomic_write_text(target, "payload")
+        assert order == [
+            ("replace", os.path.abspath(target)),
+            ("fsync_dir", os.path.dirname(os.path.abspath(target))),
+        ]
+
+    def test_unfsyncable_directory_degrades_silently(self, tmp_path,
+                                                     monkeypatch):
+        """Filesystems that refuse directory fsync (network mounts) keep
+        the old behaviour — best-effort, no exception.  (The *data* fsync
+        inside :func:`atomic_write_bytes` stays mandatory; only the
+        directory sync is allowed to degrade.)"""
+        from repro.runtime.checkpoint import _fsync_directory
+
+        def refuse(fd):
+            raise OSError("fsync not supported here")
+
+        monkeypatch.setattr(os, "fsync", refuse)
+        _fsync_directory(str(tmp_path))             # swallowed
+        monkeypatch.undo()
+        _fsync_directory(str(tmp_path / "missing"))  # unopenable: swallowed
+        target = str(tmp_path / "state.json")
+        atomic_write_text(target, "survived")
+        with open(target) as fh:
+            assert fh.read() == "survived"
+
+
+class TestJitteredBackoff:
+    def test_schedule_is_pinned(self):
+        """The retry schedule is part of the reproducibility contract:
+        these exact delays (base 0.1, key "job-a") must never drift."""
+        from repro.runtime.control import jittered_backoff
+
+        schedule = [jittered_backoff(0.1, attempt, key="job-a")
+                    for attempt in range(4)]
+        assert schedule == [
+            jittered_backoff(0.1, attempt, key="job-a")
+            for attempt in range(4)
+        ]
+        for attempt, delay in enumerate(schedule):
+            bare = 0.1 * 2 ** attempt
+            assert 0.5 * bare <= delay < 1.5 * bare
+
+    def test_keys_decorrelate_but_stay_deterministic(self):
+        from repro.runtime.control import jittered_backoff
+
+        a = [jittered_backoff(0.1, n, key="job-a") for n in range(4)]
+        b = [jittered_backoff(0.1, n, key="job-b") for n in range(4)]
+        assert a != b                       # different tasks spread out
+        assert jittered_backoff(0.1, 2, key=None) == 0.4   # bare exponential
+        assert jittered_backoff(0.0, 5, key="job-a") == 0.0
+
+
+class TestSupervisorStopCourtesy:
+    class _FakeProcess:
+        """Records the stop protocol; ``alive_after`` controls how many
+        liveness probes report the process still running."""
+
+        def __init__(self, alive_after):
+            self.alive_after = alive_after
+            self.calls = []
+            self._probes = 0
+
+        def is_alive(self):
+            self._probes += 1
+            return self._probes <= self.alive_after
+
+        def terminate(self):
+            self.calls.append("terminate")
+
+        def kill(self):
+            self.calls.append("kill")
+
+        def join(self, timeout=None):
+            self.calls.append("join")
+
+    def test_terminate_precedes_kill(self):
+        """A worker that ignores SIGTERM is SIGKILLed — but only after the
+        grace join, never first."""
+        process = self._FakeProcess(alive_after=99)
+        Supervisor._stop_process(process, grace=0.0)
+        assert process.calls == ["terminate", "join", "kill", "join"]
+
+    def test_cooperative_worker_is_never_killed(self):
+        process = self._FakeProcess(alive_after=1)
+        Supervisor._stop_process(process, grace=0.0)
+        assert process.calls == ["terminate", "join", "join"]
+        assert "kill" not in process.calls
+
+    def test_dead_worker_is_not_signalled(self):
+        process = self._FakeProcess(alive_after=0)
+        Supervisor._stop_process(process, grace=0.0)
+        assert process.calls == ["join"]

@@ -1,0 +1,663 @@
+"""Fault-matrix and resilience tests for :mod:`repro.serve`.
+
+The acceptance bar mirrors the PR 6 runtime layer: **every injected
+fault must surface as a structured error or a degraded-but-correct
+result — never a hung client, a dead server, or a wrong answer served
+from the cache.**  The suite drives a real server (in a background
+thread for the fast cases, a real subprocess for the SIGKILL/SIGTERM
+cases) through deterministic :class:`~repro.runtime.faults.FaultPlan`
+schedules at each of the five server fault sites — ``serve_admit``,
+``serve_execute``, ``serve_cache``, ``serve_journal``, ``serve_drain``
+— plus cache corruption, admission backpressure, deadlines, client
+cancellation, poison-job quarantine and kill-to-restart resume, and
+pins the recovered payloads byte-identical to clean runs.
+"""
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import CheckpointError, JobRejected, ServeError
+from repro.runtime.faults import Fault, FaultPlan, corrupt_checkpoint
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServeClient, wait_for_endpoint
+from repro.serve.jobs import job_key, run_job, validate_job
+from repro.serve.journal import JobJournal
+from repro.serve.protocol import (
+    encode_message,
+    recv_message,
+    send_message,
+)
+from repro.serve.server import JobServer
+
+LINT_SPEC = {"kind": "lint", "design": "fig1a"}
+MEASURE_SPEC = {"kind": "measure", "design": "fig1a", "cycles": 200}
+SWEEP_SPEC = {"kind": "sweep", "grid": "fig6", "cycles": 120}
+#: full-length grid (~1s): long enough that a drain or SIGKILL lands
+#: mid-run instead of racing the job to completion
+LONG_SWEEP_SPEC = {"kind": "sweep", "grid": "fig6"}
+
+
+def canonical(payload):
+    """The byte-identity every resume/cache assertion compares."""
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+@contextlib.contextmanager
+def running_server(root, **kwargs):
+    """A live server in a background thread plus a connected client."""
+    kwargs.setdefault("backoff", 0.0)
+    server = JobServer(str(root), **kwargs)
+    ready = threading.Event()
+    thread = threading.Thread(
+        target=lambda: asyncio.run(server.run(ready=ready)), daemon=True)
+    thread.start()
+    assert ready.wait(10), "server failed to start"
+    client = ServeClient(root=str(root), timeout=60)
+    try:
+        yield server, client
+    finally:
+        if not server.draining:
+            with contextlib.suppress(ServeError):
+                client.shutdown()
+        thread.join(10)
+        assert not thread.is_alive(), "server failed to drain"
+
+
+# ---------------------------------------------------------------------------
+# protocol framing
+
+
+class TestProtocol:
+    def test_blocking_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            send_message(a, {"op": "status", "n": [1, 2, 3]})
+            assert recv_message(b) == {"op": "status", "n": [1, 2, 3]}
+            a.close()
+            assert recv_message(b) is None      # clean EOF
+        finally:
+            b.close()
+
+    def test_encoding_is_byte_stable(self):
+        assert encode_message({"b": 1, "a": 2}) == encode_message(
+            {"a": 2, "b": 1})
+
+    def test_torn_frame_is_loud(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(encode_message({"x": 1})[:5])     # header + 1 byte
+            a.close()
+            with pytest.raises(ServeError, match="inside a frame"):
+                recv_message(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_is_refused(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((1 << 31).to_bytes(4, "big"))
+            with pytest.raises(ServeError, match="limit"):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+
+# ---------------------------------------------------------------------------
+# job specs and keys
+
+
+class TestJobIdentity:
+    def test_validation_fills_defaults_and_rejects_junk(self):
+        spec = validate_job(LINT_SPEC)
+        assert spec == {"kind": "lint", "design": "fig1a", "rules": None,
+                        "seed": 0}
+        with pytest.raises(ServeError, match="unknown job kind"):
+            validate_job({"kind": "meteor"})
+        with pytest.raises(ServeError, match="unknown lint design"):
+            validate_job({"kind": "lint", "design": "nope"})
+        with pytest.raises(ServeError, match="unknown keys"):
+            validate_job({"kind": "lint", "design": "fig1a", "cycles": 5})
+        with pytest.raises(ServeError, match="spec must be an object"):
+            validate_job("lint fig1a")
+
+    def test_keys_are_deterministic_and_config_sensitive(self):
+        base = job_key(validate_job(MEASURE_SPEC))
+        assert base == job_key(validate_job(dict(MEASURE_SPEC)))
+        assert base != job_key(validate_job(
+            dict(MEASURE_SPEC, cycles=201)))
+        assert base != job_key(validate_job(
+            dict(MEASURE_SPEC, design="fig1d")))
+        assert base != job_key(validate_job(MEASURE_SPEC), engine="batch")
+        assert base != job_key(validate_job(dict(MEASURE_SPEC, seed=1)))
+
+    def test_key_binds_the_built_design_not_just_its_name(self, monkeypatch):
+        """Changing what a design name *builds* must change the key — a
+        cached result can never be served for a redefined design."""
+        import repro.designs as designs
+
+        before = job_key(validate_job(LINT_SPEC))
+        original = designs._DESIGN_FACTORIES["fig1a"]
+        monkeypatch.setitem(designs._DESIGN_FACTORIES, "fig1a",
+                            designs._DESIGN_FACTORIES["fig1d"])
+        after = job_key(validate_job(LINT_SPEC))
+        monkeypatch.setitem(designs._DESIGN_FACTORIES, "fig1a", original)
+        assert before != after
+
+
+# ---------------------------------------------------------------------------
+# the result cache
+
+
+class TestResultCache:
+    def test_round_trip_and_hit_counting(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = job_key(validate_job(LINT_SPEC))
+        assert cache.get(key) is None
+        cache.put(key, {"ok": True})
+        assert cache.get(key) == {"ok": True}
+        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0,
+                                 "corrupt_evictions": 0}
+
+    @pytest.mark.parametrize("mode", ["flip", "truncate", "garbage"])
+    def test_corruption_is_evicted_never_served(self, tmp_path, mode):
+        cache = ResultCache(str(tmp_path))
+        cache.put("k" * 64, {"payload": list(range(100))})
+        corrupt_checkpoint(cache.path("k" * 64), mode=mode)
+        assert cache.get("k" * 64) is None
+        assert cache.corrupt_evictions == 1
+        assert not os.path.exists(cache.path("k" * 64))
+        # recompute-and-overwrite works after the eviction
+        cache.put("k" * 64, {"payload": [1]})
+        assert cache.get("k" * 64) == {"payload": [1]}
+
+    def test_foreign_key_entry_is_refused(self, tmp_path):
+        """A file renamed onto another key's path fails the key check."""
+        cache = ResultCache(str(tmp_path))
+        cache.put("a" * 64, {"from": "a"})
+        os.replace(cache.path("a" * 64), cache.path("b" * 64))
+        assert cache.get("b" * 64) is None
+        assert cache.corrupt_evictions == 1
+
+    def test_lru_eviction_is_size_bounded_and_recency_driven(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_entries=3)
+        for i in range(3):
+            cache.put(f"{i}" * 64, {"i": i})
+        cache.get("0" * 64)                     # refresh 0: now 1 is LRU
+        cache.put("3" * 64, {"i": 3})
+        assert cache.get("1" * 64) is None      # evicted
+        assert cache.get("0" * 64) == {"i": 0}  # survived (recently used)
+        assert cache.get("3" * 64) == {"i": 3}
+        assert cache.evictions == 1
+
+
+# ---------------------------------------------------------------------------
+# the job journal
+
+
+class TestJobJournal:
+    def test_round_trip_and_pending_order(self, tmp_path):
+        path = str(tmp_path / "journal.ckpt")
+        journal = JobJournal(path).load()
+        journal.append("submitted", "1", key="k1", spec={"kind": "lint"})
+        journal.append("submitted", "2", key="k2", spec={"kind": "sweep"})
+        journal.append("done", "1", key="k1")
+        reloaded = JobJournal(path).load()
+        assert reloaded.pending() == [("2", "k2", {"kind": "sweep"})]
+        assert reloaded.max_job_id() == 2
+
+    def test_corrupt_journal_is_loud(self, tmp_path):
+        path = str(tmp_path / "journal.ckpt")
+        journal = JobJournal(path)
+        journal.append("submitted", "1", key="k", spec={})
+        corrupt_checkpoint(path, mode="flip")
+        with pytest.raises(CheckpointError):
+            JobJournal(path).load()
+
+    def test_injected_append_failure_changes_nothing(self, tmp_path):
+        """``serve_journal`` faults fire before any mutation: the record
+        list and the on-disk file both stay as if the append never
+        happened."""
+        from repro.runtime.faults import InjectedFault, plan_scope
+
+        path = str(tmp_path / "journal.ckpt")
+        journal = JobJournal(path)
+        journal.append("submitted", "1", key="k", spec={})
+        with plan_scope(FaultPlan([Fault("serve_journal", "done")])):
+            with pytest.raises(InjectedFault):
+                journal.append("done", "1", key="k")
+        assert [r["event"] for r in journal.records] == ["submitted"]
+        assert [r["event"] for r in JobJournal(path).load().records] \
+            == ["submitted"]
+
+
+# ---------------------------------------------------------------------------
+# server behaviour (in-thread)
+
+
+class TestServerBasics:
+    def test_result_then_cache_hit_byte_identical(self, tmp_path):
+        with running_server(tmp_path) as (server, client):
+            first = client.submit(LINT_SPEC)
+            second = client.submit(LINT_SPEC)
+            assert first["type"] == second["type"] == "result"
+            assert not first.get("cached") and second["cached"]
+            assert canonical(first["payload"]) == canonical(second["payload"])
+            assert server.cache.stats()["hits"] == 1
+            # --fresh bypasses the cache but recomputes identically
+            third = client.submit(LINT_SPEC, fresh=True)
+            assert not third.get("cached")
+            assert canonical(third["payload"]) == canonical(first["payload"])
+
+    def test_sweep_job_streams_progress(self, tmp_path):
+        events = []
+        with running_server(tmp_path) as (_server, client):
+            terminal = client.submit(SWEEP_SPEC, on_event=events.append)
+        assert terminal["type"] == "result"
+        assert terminal["payload"]["n_configs"] == 24
+        types = {event["type"] for event in events}
+        assert "accepted" in types and "progress" in types
+
+    def test_malformed_spec_is_a_structured_error(self, tmp_path):
+        with running_server(tmp_path) as (_server, client):
+            with pytest.raises(ServeError, match="unknown job kind"):
+                client.submit({"kind": "meteor"})
+            # the server survives the bad request
+            assert client.status()["type"] == "status"
+
+    def test_unknown_op_and_unknown_cancel_are_structured(self, tmp_path):
+        with running_server(tmp_path) as (_server, client):
+            with pytest.raises(ServeError, match="unknown op"):
+                client._simple({"op": "launch"})
+            with pytest.raises(ServeError, match="unknown job"):
+                client.cancel("999")
+
+
+class TestAdmissionControl:
+    def test_queue_full_is_structured_backpressure(self, tmp_path):
+        plan = FaultPlan([Fault("serve_execute", "lint", kind="slow",
+                                seconds=3.0, times=99)])
+        with running_server(tmp_path, max_queue=1, retries=0,
+                            fault_plan=plan) as (server, client):
+            background = threading.Thread(
+                target=lambda: client.submit(LINT_SPEC), daemon=True)
+            background.start()
+            deadline = time.monotonic() + 5
+            while server.depth < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            with pytest.raises(JobRejected) as info:
+                client.submit(MEASURE_SPEC)
+            assert info.value.queue_depth == 1
+            assert info.value.max_queue == 1
+            background.join(10)
+            assert not background.is_alive()
+
+    def test_injected_admission_fault_is_structured(self, tmp_path):
+        plan = FaultPlan([Fault("serve_admit", "lint", kind="raise")])
+        with running_server(tmp_path, fault_plan=plan) as (_server, client):
+            with pytest.raises(ServeError, match="injected"):
+                client.submit(LINT_SPEC)
+            # containment: only the faulted admission key is affected, and
+            # the server keeps serving
+            assert client.submit(MEASURE_SPEC)["type"] == "result"
+
+    def test_draining_server_rejects_new_jobs(self, tmp_path):
+        with running_server(tmp_path) as (server, client):
+            client.shutdown()
+            deadline = time.monotonic() + 5
+            while not server.draining and time.monotonic() < deadline:
+                time.sleep(0.01)
+            with pytest.raises((JobRejected, ServeError)):
+                client.submit(LINT_SPEC)
+
+
+class TestDeadlinesAndCancellation:
+    def test_deadline_stops_at_checkpoint_boundary(self, tmp_path):
+        with running_server(tmp_path) as (_server, client):
+            terminal = client.submit({"kind": "sweep", "grid": "fig6"},
+                                     deadline=0.3)
+            assert terminal["type"] == "cancelled"
+            assert terminal["reason"] == "deadline exceeded"
+
+    def test_client_cancels_a_queued_job(self, tmp_path):
+        # the running lint job blocks the (serial) worker long enough that
+        # the measure job is still queued when the cancel lands
+        plan = FaultPlan([Fault("serve_execute", "lint", kind="slow",
+                                seconds=4.0, times=99)])
+        with running_server(tmp_path, max_queue=4, retries=0,
+                            fault_plan=plan) as (server, client):
+            def submit_blocker():
+                with contextlib.suppress(ServeError):
+                    client.submit(LINT_SPEC)
+
+            blocker = threading.Thread(target=submit_blocker, daemon=True)
+            blocker.start()
+            # make the ordering deterministic: only submit the job to be
+            # cancelled once the blocker occupies the worker
+            deadline = time.monotonic() + 10
+            while server.running is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert server.running is not None, "blocker job never started"
+            accepted = {}
+            terminal_box = {}
+
+            def submit_queued():
+                terminal_box["event"] = client.submit(
+                    MEASURE_SPEC, fresh=True,
+                    on_event=lambda e: accepted.update(e)
+                    if e["type"] == "accepted" else None)
+
+            queued = threading.Thread(target=submit_queued, daemon=True)
+            queued.start()
+            deadline = time.monotonic() + 5
+            while "job" not in accepted and time.monotonic() < deadline:
+                time.sleep(0.01)
+            client.cancel(accepted["job"], reason="changed my mind")
+            queued.join(20)
+            assert not queued.is_alive()
+            assert terminal_box["event"]["type"] == "cancelled"
+            assert terminal_box["event"]["reason"] == "changed my mind"
+            blocker.join(20)
+            assert not blocker.is_alive()
+
+
+class TestExecutionFaults:
+    def test_retried_fault_recovers_byte_identically(self, tmp_path):
+        clean = run_job(validate_job(LINT_SPEC))
+        events = []
+        plan = FaultPlan([Fault("serve_execute", "lint", kind="raise",
+                                times=1)])
+        with running_server(tmp_path, retries=1,
+                            fault_plan=plan) as (_server, client):
+            terminal = client.submit(LINT_SPEC, on_event=events.append)
+        assert terminal["type"] == "result"
+        assert terminal["attempts"] == 2
+        assert canonical(terminal["payload"]) == canonical(clean)
+        assert [e["type"] for e in events if e["type"] == "retry"] == ["retry"]
+
+    @pytest.mark.parametrize("kind", ["crash", "hang"])
+    def test_crash_and_hang_degrade_and_retry(self, tmp_path, kind):
+        """In-process ``crash``/``hang`` faults degrade to raises (the
+        PR 6 contract); the server retries and recovers."""
+        plan = FaultPlan([Fault("serve_execute", "lint", kind=kind,
+                                times=1)])
+        with running_server(tmp_path, retries=1,
+                            fault_plan=plan) as (_server, client):
+            terminal = client.submit(LINT_SPEC)
+        assert terminal["type"] == "result"
+        assert terminal["attempts"] == 2
+
+    def test_poison_job_is_quarantined(self, tmp_path):
+        plan = FaultPlan([Fault("serve_execute", "lint", kind="raise",
+                                times=99)])
+        with running_server(tmp_path, retries=1,
+                            fault_plan=plan) as (_server, client):
+            terminal = client.submit(LINT_SPEC)
+            assert terminal["type"] == "failed"
+            assert terminal["attempts"] == 2
+            assert "injected" in terminal["error"]
+            # other jobs are unaffected
+            assert client.submit(MEASURE_SPEC)["type"] == "result"
+        # quarantine: the journal records the failure, so a restarted
+        # server does NOT resurrect the poison job
+        journal = JobJournal(str(tmp_path / "journal.ckpt")).load()
+        assert journal.pending() == []
+        events = [r["event"] for r in journal.records]
+        assert "failed" in events
+
+    def test_cache_write_fault_degrades_to_uncached_reply(self, tmp_path):
+        plan = FaultPlan([Fault("serve_cache", kind="raise", times=99)])
+        clean = run_job(validate_job(LINT_SPEC))
+        with running_server(tmp_path, retries=0,
+                            fault_plan=plan) as (server, client):
+            first = client.submit(LINT_SPEC)
+            assert first["type"] == "result"
+            assert "injected" in first["cache_error"]
+            assert canonical(first["payload"]) == canonical(clean)
+            # nothing was cached; the repeat recomputes, still correctly
+            second = client.submit(LINT_SPEC)
+            assert not second.get("cached")
+            assert canonical(second["payload"]) == canonical(clean)
+            assert server.cache.stats()["hits"] == 0
+
+    def test_journal_submit_fault_rejects_job(self, tmp_path):
+        plan = FaultPlan([Fault("serve_journal", "submitted", kind="raise")])
+        with running_server(tmp_path, fault_plan=plan) as (server, client):
+            with pytest.raises(JobRejected, match="journal write failed"):
+                client.submit(LINT_SPEC)
+            # the acceptance never became durable: nothing queued, nothing
+            # journaled, and the server keeps answering
+            assert server.depth == 0
+            assert JobJournal(
+                str(tmp_path / "journal.ckpt")).load().records == []
+            assert client.status()["type"] == "status"
+
+    def test_journal_terminal_fault_still_delivers_result(self, tmp_path):
+        plan = FaultPlan([Fault("serve_journal", "done", kind="raise",
+                                times=99)])
+        with running_server(tmp_path, fault_plan=plan) as (_server, client):
+            terminal = client.submit(LINT_SPEC)
+            assert terminal["type"] == "result"
+            assert "journal write failed" in terminal["journal_error"]
+
+
+class TestCacheIntegrity:
+    def test_corrupted_cache_entry_recomputes_never_serves(self, tmp_path):
+        with running_server(tmp_path) as (server, client):
+            first = client.submit(LINT_SPEC)
+            key = first["key"]
+            corrupt_checkpoint(server.cache.path(key), mode="flip")
+            second = client.submit(LINT_SPEC)
+            assert second["type"] == "result"
+            assert not second.get("cached")     # recomputed, not served
+            assert canonical(second["payload"]) == canonical(first["payload"])
+            assert server.cache.corrupt_evictions == 1
+            # the rewritten entry is valid again
+            third = client.submit(LINT_SPEC)
+            assert third["cached"]
+
+
+# ---------------------------------------------------------------------------
+# drain / restart / resume
+
+
+class TestDrainAndResume:
+    def test_drain_detaches_queue_and_restart_finishes_it(self, tmp_path):
+        """Kill-free version of the SIGKILL story: drain a server mid-
+        sweep, restart on the same root, and the finished result must be
+        byte-identical to an uninterrupted reference run."""
+        reference = run_job(validate_job(LONG_SWEEP_SPEC))
+        terminal_box = {}
+        with running_server(tmp_path, retries=0) as (server, client):
+            background = threading.Thread(
+                target=lambda: terminal_box.update(
+                    client.submit(LONG_SWEEP_SPEC)),
+                daemon=True)
+            background.start()
+            deadline = time.monotonic() + 10
+            while server.running is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert server.running is not None, "sweep never started"
+            client.shutdown()
+            background.join(15)
+            assert not background.is_alive()
+        assert terminal_box["type"] == "detached"
+        # the job is still journaled pending, with a progress checkpoint
+        journal = JobJournal(str(tmp_path / "journal.ckpt")).load()
+        assert len(journal.pending()) == 1
+        # a fresh server on the same root finishes it from the checkpoint
+        with running_server(tmp_path, retries=0) as (server, client):
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                journal = JobJournal(str(tmp_path / "journal.ckpt")).load()
+                if not journal.pending():
+                    break
+                time.sleep(0.05)
+            assert not journal.pending(), "restart did not finish the job"
+            final = client.submit(LONG_SWEEP_SPEC)
+            assert final["cached"]
+            assert canonical(final["payload"]) == canonical(reference)
+
+    def test_startup_reenqueues_journaled_pending_jobs(self, tmp_path):
+        """A journal with an accepted-but-unfinished job (what a SIGKILL
+        leaves behind) is enough: the next server runs it to completion
+        unprompted."""
+        spec = validate_job(LINT_SPEC)
+        key = job_key(spec)
+        journal = JobJournal(str(tmp_path / "journal.ckpt"))
+        journal.append("submitted", "7", key=key, spec=spec)
+        reference = run_job(spec)
+        with running_server(tmp_path) as (server, client):
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if JobJournal(str(tmp_path / "journal.ckpt")).load() \
+                        .pending() == []:
+                    break
+                time.sleep(0.05)
+            terminal = client.submit(LINT_SPEC)
+            assert terminal["cached"]
+            assert canonical(terminal["payload"]) == canonical(reference)
+
+    def test_drain_fault_is_absorbed(self, tmp_path):
+        plan = FaultPlan([Fault("serve_drain", kind="raise", times=99)])
+        server_box = {}
+        with running_server(tmp_path, fault_plan=plan) as (server, client):
+            server_box["server"] = server
+            assert client.submit(LINT_SPEC)["type"] == "result"
+            client.shutdown()
+        # the drain completed despite the injected fault, and recorded it
+        assert any("injected" in err
+                   for err in server_box["server"].drain_errors)
+
+
+# ---------------------------------------------------------------------------
+# subprocess cases: SIGKILL resume, SIGTERM parity
+
+
+def _serve_env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
+def _spawn_server(root, *extra):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(root), *extra],
+        env=_serve_env(), stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL)
+
+
+@pytest.mark.slow
+class TestSubprocessServer:
+    def test_sigkill_midrun_restart_resumes_byte_identically(self, tmp_path):
+        """The tentpole acceptance case: SIGKILL a real server process
+        mid-sweep; a restarted server finishes the journaled job from its
+        checkpoint and serves a result byte-identical to a clean run."""
+        reference = run_job(validate_job(LONG_SWEEP_SPEC))
+        proc = _spawn_server(tmp_path, "--retries", "0")
+        try:
+            wait_for_endpoint(str(tmp_path), timeout=30)
+            client = ServeClient(root=str(tmp_path), timeout=60)
+
+            def fire_and_forget():
+                with contextlib.suppress(ServeError):
+                    client.submit(LONG_SWEEP_SPEC)
+
+            background = threading.Thread(target=fire_and_forget,
+                                          daemon=True)
+            background.start()
+            # let the sweep get properly under way, then SIGKILL
+            deadline = time.monotonic() + 10
+            started = False
+            journal_path = str(tmp_path / "journal.ckpt")
+            while time.monotonic() < deadline:
+                try:
+                    if JobJournal(journal_path).load().pending():
+                        started = True
+                        break
+                except (CheckpointError, OSError):
+                    pass
+                time.sleep(0.02)
+            assert started, "job never reached the journal"
+            time.sleep(0.3)
+            proc.kill()
+            proc.wait(10)
+            background.join(10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        # restart: the pending job must complete without any client
+        proc = _spawn_server(tmp_path, "--retries", "0")
+        try:
+            wait_for_endpoint(str(tmp_path), timeout=30)
+            client = ServeClient(root=str(tmp_path), timeout=60)
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if not JobJournal(journal_path).load().pending():
+                    break
+                time.sleep(0.1)
+            assert not JobJournal(journal_path).load().pending(), \
+                "restarted server did not finish the journaled job"
+            final = client.submit(LONG_SWEEP_SPEC)
+            assert final["type"] == "result"
+            assert final["cached"]
+            assert canonical(final["payload"]) == canonical(reference)
+            client.shutdown()
+            assert proc.wait(30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_sigterm_drains_and_exits_143(self, tmp_path):
+        proc = _spawn_server(tmp_path)
+        try:
+            wait_for_endpoint(str(tmp_path), timeout=30)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(30) == 143
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_sigint_drains_and_exits_130(self, tmp_path):
+        proc = _spawn_server(tmp_path)
+        try:
+            wait_for_endpoint(str(tmp_path), timeout=30)
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(30) == 130
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_cli_submit_round_trip(self, tmp_path):
+        proc = _spawn_server(tmp_path)
+        try:
+            wait_for_endpoint(str(tmp_path), timeout=30)
+            out = subprocess.run(
+                [sys.executable, "-m", "repro", "submit", "lint",
+                 "--root", str(tmp_path), "--design", "fig1a", "--json"],
+                env=_serve_env(), capture_output=True, text=True, timeout=120)
+            assert out.returncode == 0, out.stderr
+            terminal = json.loads(out.stdout)
+            assert terminal["type"] == "result"
+            assert terminal["payload"]["ok"] is True
+            shut = subprocess.run(
+                [sys.executable, "-m", "repro", "submit", "shutdown",
+                 "--root", str(tmp_path)],
+                env=_serve_env(), capture_output=True, text=True, timeout=60)
+            assert shut.returncode == 0, shut.stderr
+            assert proc.wait(30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
