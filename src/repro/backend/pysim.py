@@ -1,0 +1,1288 @@
+"""Compiled simulation: elaborate a netlist into straight-line Python.
+
+Every interpreted engine — naive, worklist, batch — pays Python dispatch
+per node per fix-point pass: bound-method calls into ``comb()``, attribute
+loads on :class:`~repro.elastic.channel.ChannelState`, the monotone
+``state.set`` funnel, then separate passes for the protocol monitor,
+event resolution, statistics and ticks.  This module removes all of it by
+**elaboration**: given a netlist, it emits one specialized Python module
+per *topology* in which
+
+* the acyclic majority of the design (the same levelized writer->reader
+  order the PR 1 worklist engine seeds with) becomes **straight-line
+  code** — each core node kind's kernel is inlined by a per-kind emitter,
+  evaluated exactly once per cycle, in dependency order;
+* channel signals of that region live in **flat local variables**
+  (``v3``/``p3``/``a3``/``m3``/``d3`` for ``vp``/``sp``/``vm``/``sm``/
+  ``data`` of channel slot 3) instead of ``ChannelState`` objects;
+* the cyclic residue (ZBL chains, lazy joins, speculation loops) and any
+  node kind without an emitter fall back to a generated **inner fix-point
+  loop** over the real ``comb()`` methods and ``ChannelState`` objects
+  ("boxed" channels), preserving the monotone Kleene semantics and
+  :class:`~repro.errors.SignalConflictError` behaviour exactly;
+* protocol monitoring, event resolution, statistics, observers and the
+  core ``tick`` kernels are inlined into the same generated function, so
+  a cycle is one Python call.
+
+The locals are flushed back into the ``ChannelState`` objects every cycle
+(before the monitor/event phases), so everything that inspects channel
+state between cycles — observers, ``Channel.events()``, the model
+checker's packed-signal reader, fallback ``tick`` methods — sees exactly
+what the interpreted engines would produce.  The differential suite
+(``tests/test_codegen_diff.py``) pins the engine bit-identical to the
+worklist engine, including protocol violations and combinational-loop
+diagnoses.
+
+Caching and staleness
+---------------------
+
+Generated modules are ``exec``-compiled once per topology and cached
+process-wide, keyed by the netlist **content signature** (node names,
+classes, ports, declared sensitivities, channel wiring — the same
+structural identity the batch engine uses for lane sharing) plus the
+elaboration flags (``check_protocol``, ``profile``).  Numeric parameters
+that only affect sequential behaviour (capacities, rates, seeds, datapath
+functions) are deliberately *not* baked in — they are read from the node
+instances at run time — so a parameter sweep over one topology compiles
+exactly once.  ``build(env)`` re-binds a cached module to a concrete
+simulator's nodes, channels, stats and monitor.
+
+Structural edits (the PR 4 ``NetlistEdit`` log) mark the backend dirty;
+the next ``step``/``reset`` re-elaborates against the edited netlist —
+which is a cache *hit* when the new topology has been seen before — so a
+mutated design can never execute stale generated code.  A netlist whose
+``version`` advanced without ``Simulator.apply_edit`` raises on ``step``,
+exactly like the worklist engine.  :func:`cache_stats` exposes the
+hit / re-elaboration counters (CLI: ``repro elaborate``).
+
+Instrumented elaboration (``profile=True``) is a *documented mode*: the
+module is generated with per-node call counters and per-cycle eval/sweep
+histograms woven in, so ``Simulator(engine="codegen", profile=True)``
+supports :meth:`~repro.sim.engine.Simulator.profile_report` with the same
+report shape as the interpreted engines (straight-line nodes count one
+evaluation per cycle; the inner loop counts its real calls).
+
+Emitter trust mirrors :func:`repro.sim.batch.resolve_batch_kernel`: a
+per-kind emitter is used only for node classes whose ``comb`` (or
+``tick``, for tick emitters) is *defined by* the class the emitter was
+written against — a subclass overriding ``comb`` falls back to the
+always-correct deferred evaluation of its own method.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+
+from repro.elastic.buffers import ElasticBuffer, ZeroBackwardLatencyBuffer
+from repro.elastic.channel import (
+    CONSUMER,
+    PRODUCER,
+    SIGNALS_BY_ROLE,
+)
+from repro.elastic.environment import (
+    KillerSink,
+    NondetChoiceSource,
+    NondetSink,
+    NondetSource,
+    Sink,
+    _SourceBase,
+)
+from repro.elastic.fork import EagerFork
+from repro.elastic.functional import Func
+from repro.elastic.node import Node
+from repro.errors import CombinationalLoopError
+from repro.sim.monitors import ProtocolMonitor
+from repro.sim.sensitivity import _levelize
+from repro.sim.stats import ChannelStats
+
+__all__ = [
+    "CodegenBackend",
+    "cache_stats",
+    "clear_module_cache",
+    "generated_source",
+]
+
+#: signal name -> local-variable prefix for non-boxed channels.
+_LOC = {"vp": "v", "sp": "p", "vm": "a", "sm": "m", "data": "d"}
+
+_CONTROLS = ("vp", "sp", "vm", "sm")
+
+
+def _definer(cls, attr):
+    """The class in ``cls``'s MRO that defines ``attr`` (None if absent)."""
+    for k in cls.__mro__:
+        if attr in k.__dict__:
+            return k
+    return None
+
+
+# ---------------------------------------------------------------------------
+# per-kind code emitters
+#
+# Each kind's comb() is split into *signal tasks*: (reads, writes, emitter)
+# triples, where reads/writes are (port, signal) pairs and the emitter
+# appends straight-line statements computing exactly what the kernel drives
+# for those signals, via g.sig(node, port, signal) (a flat local for fast
+# channels, a ChannelState attribute for boxed ones).  Scheduling happens at
+# task granularity because that is where elastic control is acyclic: a ZBL
+# chain is cyclic node-to-node (the buffer reads downstream sp/vm, the
+# downstream join reads its vp) but acyclic signal-to-signal (vp/data flow
+# forward, sp/vm flow backward) — exactly the structure the worklist engine
+# discovers dynamically, resolved statically here.
+#
+# Every control signal listed in a task's writes MUST be assigned
+# unconditionally (the elaborator audits this); data writes are conditional,
+# mirroring drive()'s None no-op.  Tasks may not share scratch state — each
+# recomputes what it needs (locals with a leading underscore, which can
+# never collide with channel locals).
+# ---------------------------------------------------------------------------
+
+
+def _comb_source(g, ni, node, out):
+    n = g.node_ref(ni)
+    out += [
+        f"if not {n}._offering and {n}._pending_start:",
+        f"    _v = {n}._next_value()",
+        "    if _v is not None:",
+        f"        {n}._offering = True",
+        f"        {n}._value = _v",
+        f"    {n}._pending_start = False",
+        f"{g.sig(node, 'o', 'vp')} = {n}._offering",
+        f"if {n}._offering:",
+        f"    {g.sig(node, 'o', 'data')} = {n}._value",
+        f"{g.sig(node, 'o', 'sm')} = False",
+    ]
+
+
+def _tick_source(g, ni, node, out):
+    n = g.node_ref(ni)
+    vp, sp = g.sig(node, "o", "vp"), g.sig(node, "o", "sp")
+    vm, sm = g.sig(node, "o", "vm"), g.sig(node, "o", "sm")
+    msg = f"source {node.name}: unbounded anti-token debt"
+    out += [
+        f"if {vp} and not {sp}:",
+        f"    {n}.emitted += 1",
+        f"    if {vm}:",
+        f"        {n}.killed += 1",
+        f"    {n}._offering = False",
+        f"    {n}._value = None",
+        f"elif {vm} and not {sm} and not {vp}:",
+        f"    {n}._skip += 1",
+        f"    if {n}._skip > {n}.max_skips:",
+        f"        raise AssertionError({msg!r})",
+        f"while {n}._skip > 0:",
+        f"    _v = {n}._next_value()",
+        "    if _v is None:",
+        "        break",
+        f"    {n}._skip -= 1",
+        f"    {n}.killed += 1",
+        f"    {n}.emitted += 1",
+    ]
+
+
+def _comb_sink(g, ni, node, out):
+    n = g.node_ref(ni)
+    out += [
+        f"{g.sig(node, 'i', 'sp')} = {n}._stall_now",
+        f"{g.sig(node, 'i', 'vm')} = False",
+    ]
+
+
+def _tick_sink(g, ni, node, out):
+    n = g.node_ref(ni)
+    vp, sp, vm = (g.sig(node, "i", s) for s in ("vp", "sp", "vm"))
+    out += [
+        f"if {vp} and not {sp} and not {vm}:",
+        f"    {n}.received.append(({n}._cycle, {g.sig(node, 'i', 'data')}))",
+        f"{n}._cycle += 1",
+    ]
+
+
+def _comb_killer_sink(g, ni, node, out):
+    n = g.node_ref(ni)
+    out += [
+        f"{g.sig(node, 'i', 'vm')} = {n}._killing",
+        f"{g.sig(node, 'i', 'sp')} = False if {n}._killing else {n}._stall_now",
+    ]
+
+
+def _tick_killer_sink(g, ni, node, out):
+    n = g.node_ref(ni)
+    vp, sp, vm, sm = (g.sig(node, "i", s) for s in _CONTROLS)
+    out += [
+        f"if {n}._killing and ({vp} or not {sm}):",
+        f"    {n}._killing = False",
+        f"    {n}.kills_sent += 1",
+        f"elif {vp} and not {sp} and not {vm}:",
+        f"    {n}.received.append(({n}._cycle, {g.sig(node, 'i', 'data')}))",
+        f"{n}._cycle += 1",
+    ]
+
+
+def _comb_nondet_source(g, ni, node, out, value_attr="_counter"):
+    n = g.node_ref(ni)
+    out += [
+        f"{g.sig(node, 'o', 'vp')} = {n}._offering",
+        f"if {n}._offering:",
+        f"    {g.sig(node, 'o', 'data')} = {n}.{value_attr}",
+        f"{g.sig(node, 'o', 'sm')} = False",
+    ]
+
+
+def _tick_nondet_source(g, ni, node, out):
+    n = g.node_ref(ni)
+    vp, sp = g.sig(node, "o", "vp"), g.sig(node, "o", "sp")
+    vm, sm = g.sig(node, "o", "vm"), g.sig(node, "o", "sm")
+    out += [
+        f"if {vp} and not {sp}:",
+        f"    {n}._offering = False",
+        f"    {n}._counter += 1",
+        f"    {n}.emitted += 1",
+        f"elif {vm} and not {sm} and not {vp}:",
+        f"    {n}._counter += 1",
+    ]
+
+
+def _comb_nc_source(g, ni, node, out):
+    _comb_nondet_source(g, ni, node, out, value_attr="_value")
+
+
+def _tick_nc_source(g, ni, node, out):
+    n = g.node_ref(ni)
+    out += [
+        f"if {g.sig(node, 'o', 'vp')} and not {g.sig(node, 'o', 'sp')}:",
+        f"    {n}._offering = False",
+        f"    {n}.emitted += 1",
+    ]
+
+
+def _comb_nondet_sink(g, ni, node, out):
+    n = g.node_ref(ni)
+    out += [
+        f"if {n}._killing:",
+        f"    {g.sig(node, 'i', 'vm')} = True",
+        f"    {g.sig(node, 'i', 'sp')} = False",
+        "else:",
+        f"    {g.sig(node, 'i', 'vm')} = False",
+        f"    {g.sig(node, 'i', 'sp')} = {n}._choice == 1",
+    ]
+
+
+def _tick_nondet_sink(g, ni, node, out):
+    n = g.node_ref(ni)
+    vp, sp, vm, sm = (g.sig(node, "i", s) for s in _CONTROLS)
+    out += [
+        f"if {n}._killing:",
+        f"    if {vp} or not {sm}:",
+        f"        {n}._killing = False",
+        f"elif {vp} and not {sp} and not {vm}:",
+        f"    {n}.received += 1",
+    ]
+
+
+def _comb_eb(g, ni, node, out):
+    n = g.node_ref(ni)
+    out += [
+        f"_x = {n}._wr - {n}._rd",
+        f"{g.sig(node, 'o', 'vp')} = _x >= 1",
+        "if _x >= 1:",
+        f"    {g.sig(node, 'o', 'data')} = {n}._store[{n}._rd]",
+        f"{g.sig(node, 'o', 'sm')} = _x <= -{n}.anti_capacity",
+        f"{g.sig(node, 'i', 'sp')} = _x >= {n}.capacity",
+        f"{g.sig(node, 'i', 'vm')} = _x <= -1",
+    ]
+
+
+def _tick_eb(g, ni, node, out):
+    n = g.node_ref(ni)
+    ivp, isp, ivm, ism = (g.sig(node, "i", s) for s in _CONTROLS)
+    ovp, osp, ovm, osm = (g.sig(node, "o", s) for s in _CONTROLS)
+    out += [
+        f"if {ivp} and not {isp}:",
+        f"    {n}._store[{n}._wr] = {g.sig(node, 'i', 'data')}",
+        f"    {n}._wr += 1",
+        f"elif {ivm} and not {ism}:",
+        f"    {n}._wr += 1",
+        f"if ({ovp} and not {osp}) or ({ovm} and not {osm}):",
+        f"    {n}._store.pop({n}._rd, None)",
+        f"    {n}._rd += 1",
+    ]
+
+
+def _zbl_fwd(g, ni, node, out):
+    n = g.node_ref(ni)
+    out += [
+        f"if {n}._full:",
+        f"    {g.sig(node, 'o', 'vp')} = True",
+        f"    {g.sig(node, 'o', 'data')} = {n}._value",
+        "else:",
+        f"    {g.sig(node, 'o', 'vp')} = False",
+    ]
+
+
+def _zbl_ivm(g, ni, node, out):
+    n = g.node_ref(ni)
+    out.append(
+        f"{g.sig(node, 'i', 'vm')} = False if {n}._full "
+        f"else {g.sig(node, 'o', 'vm')}"
+    )
+
+
+def _zbl_osm(g, ni, node, out):
+    n = g.node_ref(ni)
+    out.append(
+        f"{g.sig(node, 'o', 'sm')} = False if {n}._full "
+        f"else ({g.sig(node, 'i', 'sm')} if {g.sig(node, 'o', 'vm')} else False)"
+    )
+
+
+def _zbl_isp(g, ni, node, out):
+    n = g.node_ref(ni)
+    out.append(
+        f"{g.sig(node, 'i', 'sp')} = "
+        f"({g.sig(node, 'o', 'sp')} and not {g.sig(node, 'o', 'vm')}) "
+        f"if {n}._full else False"
+    )
+
+
+def _tick_zbl(g, ni, node, out):
+    n = g.node_ref(ni)
+    out += [
+        f"if {n}._full and {g.sig(node, 'o', 'vp')} and not {g.sig(node, 'o', 'sp')}:",
+        f"    {n}._full = False",
+        f"    {n}._value = None",
+        f"if {g.sig(node, 'i', 'vp')} and not {g.sig(node, 'i', 'sp')} "
+        f"and not {g.sig(node, 'i', 'vm')}:",
+        f"    {n}._full = True",
+        f"    {n}._value = {g.sig(node, 'i', 'data')}",
+    ]
+
+
+def _func_avail(g, node):
+    return " and ".join(
+        f"({g.sig(node, f'i{k}', 'vp')} and _pk[{k}] == 0)"
+        for k in range(node.n_inputs)
+    )
+
+
+def _func_fwd(g, ni, node, out):
+    n = g.node_ref(ni)
+    k_in = node.n_inputs
+    out += [
+        f"_pk = {n}._pk",
+        f"_av = {_func_avail(g, node)}",
+        f"{g.sig(node, 'o', 'vp')} = _av",
+        "if _av:",
+    ]
+    for k in range(k_in):
+        out.append(f"    _a{k} = {g.sig(node, f'i{k}', 'data')}")
+    known = " and ".join(f"_a{k} is not None" for k in range(k_in))
+    args = ", ".join(f"_a{k}" for k in range(k_in))
+    out += [
+        f"    if {known}:",
+        f"        {g.sig(node, 'o', 'data')} = {n}.fn({args})",
+    ]
+
+
+def _func_back(g, ni, node, out):
+    n = g.node_ref(ni)
+    out += [
+        f"_pk = {n}._pk",
+        f"_fr = ({_func_avail(g, node)}) and not {g.sig(node, 'o', 'sp')}",
+    ]
+    for k in range(node.n_inputs):
+        p = f"i{k}"
+        out += [
+            f"if _pk[{k}] > 0:",
+            f"    {g.sig(node, p, 'vm')} = True",
+            f"    {g.sig(node, p, 'sp')} = False",
+            "else:",
+            f"    {g.sig(node, p, 'vm')} = False",
+            f"    {g.sig(node, p, 'sp')} = not _fr",
+        ]
+
+
+def _func_sm(g, ni, node, out):
+    n = g.node_ref(ni)
+    room = " and ".join(
+        f"_pk[{k}] < {n}.max_kills" for k in range(node.n_inputs)
+    )
+    out += [
+        f"_pk = {n}._pk",
+        f"{g.sig(node, 'o', 'sm')} = "
+        f"False if ({_func_avail(g, node)}) else not ({room})",
+    ]
+
+
+def _tick_func(g, ni, node, out):
+    n = g.node_ref(ni)
+    ovp, ovm, osm = (g.sig(node, "o", s) for s in ("vp", "vm", "sm"))
+    msg = f"Func {node.name}: kill counter out of range"
+    out += [
+        f"_ab = {ovm} and not {osm} and not {ovp}",
+        f"_pk = {n}._pk",
+    ]
+    for k in range(node.n_inputs):
+        p = f"i{k}"
+        vp, vm, sm = (g.sig(node, p, s) for s in ("vp", "vm", "sm"))
+        out += [
+            f"if {vm} and ({vp} or not {sm}):",
+            f"    _pk[{k}] -= 1",
+            "if _ab:",
+            f"    _pk[{k}] += 1",
+            f"if _pk[{k}] < 0 or _pk[{k}] > {n}.max_kills:",
+            f"    raise AssertionError({msg!r})",
+        ]
+
+
+def _fork_fwd(g, ni, node, out):
+    n = g.node_ref(ni)
+    ivp, idata = g.sig(node, "i", "vp"), g.sig(node, "i", "data")
+    out += [f"_pk = {n}._pk", f"_dn = {n}._done"]
+    for k in range(node.n_outputs):
+        p = f"o{k}"
+        out += [
+            f"_v = {ivp} and not (_dn[{k}] or _pk[{k}] > 0)",
+            f"{g.sig(node, p, 'vp')} = _v",
+            f"if {ivp} and {idata} is not None:",
+            f"    {g.sig(node, p, 'data')} = {idata}",
+            f"{g.sig(node, p, 'sm')} = False if _v else _pk[{k}] >= {n}.max_kills",
+        ]
+
+
+def _fork_isp(g, ni, node, out):
+    n = g.node_ref(ni)
+    k_out = node.n_outputs
+    ivp = g.sig(node, "i", "vp")
+    out += [f"_pk = {n}._pk", f"_dn = {n}._done"]
+    for k in range(k_out):
+        out += [
+            f"_e = _dn[{k}] or _pk[{k}] > 0",
+            f"_b{k} = _e or (({ivp} and not _e) "
+            f"and not {g.sig(node, f'o{k}', 'sp')})",
+        ]
+    all_ok = " and ".join(f"_b{k}" for k in range(k_out))
+    out.append(f"{g.sig(node, 'i', 'sp')} = not ({ivp} and {all_ok})")
+
+
+def _fork_ivm(g, ni, node, out):
+    out.append(f"{g.sig(node, 'i', 'vm')} = False")
+
+
+def _tick_fork(g, ni, node, out):
+    n = g.node_ref(ni)
+    k_out = node.n_outputs
+    out += [
+        f"_tk = {g.sig(node, 'i', 'vp')}",
+        f"_pk = {n}._pk",
+        f"_dn = {n}._done",
+    ]
+    for k in range(k_out):
+        p = f"o{k}"
+        vp, sp, vm, sm = (g.sig(node, p, s) for s in _CONTROLS)
+        out += [
+            f"if _tk and _pk[{k}] > 0 and not _dn[{k}]:",
+            f"    _dn[{k}] = True",
+            f"    _pk[{k}] -= 1",
+            f"_b{k} = {vp} and not {sp}",
+            f"if {vm} and not {sm} and not {vp}:",
+            f"    _pk[{k}] += 1",
+        ]
+    for k in range(k_out):
+        out += [f"if _b{k}:", f"    _dn[{k}] = True"]
+    all_done = " and ".join(f"_dn[{k}]" for k in range(k_out))
+    out.append(f"if _tk and {all_done}:")
+    for k in range(k_out):
+        out.append(f"    _dn[{k}] = False")
+
+
+# -- task specs: node instance -> [(reads, writes, emitter), ...] -----------
+#
+# reads/writes are (port, signal) pairs; the scheduler wires tasks by
+# resolving them to (channel, signal).  Control signals in `writes` are
+# assigned unconditionally by the emitter; data writes are conditional.
+
+
+def _spec_eb(node):
+    return [((),
+             (("o", "vp"), ("o", "data"), ("o", "sm"),
+              ("i", "sp"), ("i", "vm")),
+             _comb_eb)]
+
+
+def _spec_zbl(node):
+    return [
+        ((), (("o", "vp"), ("o", "data")), _zbl_fwd),
+        ((("o", "vm"),), (("i", "vm"),), _zbl_ivm),
+        ((("o", "vm"), ("i", "sm")), (("o", "sm"),), _zbl_osm),
+        ((("o", "sp"), ("o", "vm")), (("i", "sp"),), _zbl_isp),
+    ]
+
+
+def _spec_func(node):
+    ins = [f"i{k}" for k in range(node.n_inputs)]
+    vp_reads = tuple((p, "vp") for p in ins)
+    return [
+        (vp_reads + tuple((p, "data") for p in ins),
+         (("o", "vp"), ("o", "data")), _func_fwd),
+        (vp_reads + (("o", "sp"),),
+         tuple((p, s) for p in ins for s in ("vm", "sp")), _func_back),
+        (vp_reads, (("o", "sm"),), _func_sm),
+    ]
+
+
+def _spec_fork(node):
+    k_out = node.n_outputs
+    return [
+        ((("i", "vp"), ("i", "data")),
+         tuple((f"o{k}", s) for k in range(k_out)
+               for s in ("vp", "data", "sm")),
+         _fork_fwd),
+        ((("i", "vp"),) + tuple((f"o{k}", "sp") for k in range(k_out)),
+         (("i", "sp"),), _fork_isp),
+        ((), (("i", "vm"),), _fork_ivm),
+    ]
+
+
+def _spec_source(node):
+    return [((), (("o", "vp"), ("o", "data"), ("o", "sm")), _comb_source)]
+
+
+def _spec_sink(node):
+    return [((), (("i", "sp"), ("i", "vm")), _comb_sink)]
+
+
+def _spec_killer_sink(node):
+    return [((), (("i", "sp"), ("i", "vm")), _comb_killer_sink)]
+
+
+def _spec_nondet_source(node):
+    return [((), (("o", "vp"), ("o", "data"), ("o", "sm")),
+             _comb_nondet_source)]
+
+
+def _spec_nc_source(node):
+    return [((), (("o", "vp"), ("o", "data"), ("o", "sm")), _comb_nc_source)]
+
+
+def _spec_nondet_sink(node):
+    return [((), (("i", "sp"), ("i", "vm")), _comb_nondet_sink)]
+
+
+#: comb-definer class -> task-spec builder (see the module docstring on trust).
+_COMB_TASKS = {
+    ElasticBuffer: _spec_eb,
+    ZeroBackwardLatencyBuffer: _spec_zbl,
+    Func: _spec_func,
+    EagerFork: _spec_fork,
+    _SourceBase: _spec_source,
+    Sink: _spec_sink,
+    KillerSink: _spec_killer_sink,
+    NondetSource: _spec_nondet_source,
+    NondetChoiceSource: _spec_nc_source,
+    NondetSink: _spec_nondet_sink,
+}
+
+#: tick-definer class -> tick emitter.
+_TICK_EMITTERS = {
+    ElasticBuffer: _tick_eb,
+    ZeroBackwardLatencyBuffer: _tick_zbl,
+    Func: _tick_func,
+    EagerFork: _tick_fork,
+    _SourceBase: _tick_source,
+    Sink: _tick_sink,
+    KillerSink: _tick_killer_sink,
+    NondetSource: _tick_nondet_source,
+    NondetChoiceSource: _tick_nc_source,
+    NondetSink: _tick_nondet_sink,
+}
+
+
+# ---------------------------------------------------------------------------
+# elaboration plan
+# ---------------------------------------------------------------------------
+
+
+class _Plan:
+    """Structural classification of one netlist for code generation."""
+
+    __slots__ = (
+        "nodes", "channels", "chan_idx", "port_channel", "writer",
+        "bound_ok", "task_order", "fast", "deferred", "boxed",
+        "pre_cycles", "choosers", "ticks",
+    )
+
+
+def _build_plan(netlist):
+    plan = _Plan()
+    nodes = plan.nodes = list(netlist.nodes.values())
+    channels = plan.channels = list(netlist.channels.values())
+    node_idx = {node.name: ni for ni, node in enumerate(nodes)}
+    chan_idx = plan.chan_idx = {ch.name: ci for ci, ch in enumerate(channels)}
+
+    # Every declared port must be bound to a channel that is (still) in the
+    # netlist; nodes failing this evaluate deferred, exactly as the
+    # interpreted engines would call their comb()/tick() directly.
+    bound_ok = plan.bound_ok = []
+    port_channel = plan.port_channel = {}
+    for node in nodes:
+        ok = True
+        for port in node.ports:
+            ch = node._channels.get(port)
+            if ch is None or chan_idx.get(ch.name) is None \
+                    or channels[chan_idx[ch.name]] is not ch:
+                ok = False
+                continue
+            port_channel[(node.name, port)] = chan_idx[ch.name]
+        bound_ok.append(ok)
+
+    # Role writer of every (channel, signal): the producer node drives
+    # vp/sm/data, the consumer drives sp/vm — drive() permits nothing else.
+    writer = plan.writer = {}
+    for ci, ch in enumerate(channels):
+        if ch.producer is not None and ch.producer[0] in node_idx:
+            for sig in SIGNALS_BY_ROLE[PRODUCER]:
+                writer[(ci, sig)] = node_idx[ch.producer[0]]
+        if ch.consumer is not None and ch.consumer[0] in node_idx:
+            for sig in SIGNALS_BY_ROLE[CONSUMER]:
+                writer[(ci, sig)] = node_idx[ch.consumer[0]]
+
+    # Signal-task scheduling.  Tasks of nodes with emitters are wired by
+    # (channel, signal) and topologically sorted; a node any of whose tasks
+    # is stuck — a read with no live producing task, or a genuine
+    # signal-level cycle — is demoted whole to the deferred fix-point loop,
+    # and demotion cascades (its readers lose their producers) until the
+    # remaining task graph is acyclic and fully sourced.
+    specs = {}
+    for ni, node in enumerate(nodes):
+        spec_fn = _COMB_TASKS.get(_definer(type(node), "comb"))
+        if spec_fn is not None and bound_ok[ni]:
+            specs[ni] = spec_fn(node)
+    demoted = set(ni for ni in range(len(nodes)) if ni not in specs)
+    task_order = []
+    while True:
+        live = [(ni, reads, writes, emit)
+                for ni in range(len(nodes)) if ni not in demoted
+                for (reads, writes, emit) in specs[ni]]
+        produced = {}
+        for t, (ni, reads, writes, emit) in enumerate(live):
+            for port, sig in writes:
+                produced[(port_channel[(nodes[ni].name, port)], sig)] = t
+        indeg = [0] * len(live)
+        adj = [[] for _ in live]
+        starved = set()
+        for t, (ni, reads, writes, emit) in enumerate(live):
+            for port, sig in reads:
+                src = produced.get(
+                    (port_channel[(nodes[ni].name, port)], sig)
+                )
+                if src is None:
+                    starved.add(ni)
+                    break
+                adj[src].append(t)
+                indeg[t] += 1
+        if starved:
+            demoted |= starved
+            continue
+        scheduled = []
+        ready = deque(t for t in range(len(live)) if indeg[t] == 0)
+        while ready:
+            t = ready.popleft()
+            scheduled.append(t)
+            for j in adj[t]:
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    ready.append(j)
+        if len(scheduled) == len(live):
+            task_order = [live[t] for t in scheduled]
+            break
+        placed = set(scheduled)
+        demoted |= {live[t][0] for t in range(len(live))
+                    if t not in placed}
+    plan.task_order = task_order
+    plan.fast = [ni for ni in range(len(nodes)) if ni not in demoted]
+
+    # Deferred nodes run in the levelized order of the node-level read
+    # graph (cyclic regions seeded in declaration order by the Kahn scan
+    # fallback), like the worklist engine's seed pass.
+    succ = [set() for _ in nodes]
+    for ni, node in enumerate(nodes):
+        if not bound_ok[ni]:
+            continue
+        for port, sig in node.comb_reads():
+            ci = port_channel.get((node.name, port))
+            if ci is None:
+                continue
+            wi = writer.get((ci, sig))
+            if wi is not None and wi != ni:
+                succ[wi].add(ni)
+    order = _levelize(range(len(nodes)), succ)
+    plan.deferred = [ni for ni in order if ni in demoted]
+
+    # A channel adjacent to any deferred (or missing) endpoint stays boxed
+    # in its ChannelState; all other channels become flat locals.
+    boxed = plan.boxed = set()
+    for ci, ch in enumerate(channels):
+        for end in (ch.producer, ch.consumer):
+            if end is None or end[0] not in node_idx \
+                    or node_idx[end[0]] in demoted:
+                boxed.add(ci)
+                break
+
+    plan.pre_cycles = [ni for ni, node in enumerate(nodes)
+                       if type(node).pre_cycle is not Node.pre_cycle]
+    plan.choosers = [ni for ni, node in enumerate(nodes)
+                     if type(node).choice_space is not Node.choice_space]
+    plan.ticks = [ni for ni, node in enumerate(nodes)
+                  if type(node).tick is not Node.tick]
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# source generation
+# ---------------------------------------------------------------------------
+
+
+class _Gen:
+    """Binding/naming context shared by the emitters."""
+
+    def __init__(self, plan):
+        self.plan = plan
+        self.bind = {}        # default-arg name -> build-scope expression
+        self.covered = set()  # (ci, control) unconditionally assigned
+
+    def node_ref(self, ni):
+        name = f"_n{ni}"
+        self.bind[name] = f"_nodes[{ni}]"
+        return name
+
+    def state_ref(self, ci):
+        name = f"_c{ci}"
+        self.bind[name] = f"_channels[{ci}].state"
+        return name
+
+    def chan_ref(self, ci):
+        name = f"_h{ci}"
+        self.bind[name] = f"_channels[{ci}]"
+        return name
+
+    def sig(self, node, port, signal):
+        ci = self.plan.port_channel[(node.name, port)]
+        if ci in self.plan.boxed:
+            return f"{self.state_ref(ci)}.{signal}"
+        return f"{_LOC[signal]}{ci}"
+
+    def csig(self, ci, signal):
+        if ci in self.plan.boxed:
+            return f"{self.state_ref(ci)}.{signal}"
+        return f"{_LOC[signal]}{ci}"
+
+    def cover(self, node, pairs):
+        for port, signal in pairs:
+            self.covered.add((self.plan.port_channel[(node.name, port)], signal))
+
+
+def _chunk_chain(targets, value, size=8):
+    """`a = b = ... = value` statements in chunks of ``size`` targets."""
+    lines = []
+    for i in range(0, len(targets), size):
+        lines.append(" = ".join(targets[i:i + size]) + f" = {value}")
+    return lines
+
+
+def _events_block(g, ci, name, cache_lhs, counters=None):
+    """The inlined per-channel event resolution (exact mirror of
+    ``Channel._compute_events`` + ``ChannelStats.observe``)."""
+    vp, sp, vm, sm, da = (g.csig(ci, s) for s in ("vp", "sp", "vm", "sm", "data"))
+    key = repr(name)
+
+    def ev(kind, expr):
+        lines = [f"{cache_lhs} = {expr}"]
+        if counters is not None:
+            lines.append(f"{counters[kind]}[{key}] += 1")
+        return lines
+
+    out = []
+    out.append(f"if {vp}:")
+    out.append(f"    if {vm}:")
+    out += ["        " + ln for ln in ev("cancels", "EV_CANCEL")]
+    out.append(f"    elif not {sp}:")
+    out += ["        " + ln for ln in
+            ev("transfers", f"ChannelEvents(True, False, False, {da})")]
+    out.append("    else:")
+    out += ["        " + ln for ln in ev("stalls", "EV_IDLE")]
+    out.append(f"elif {vm} and not {sm}:")
+    out += ["    " + ln for ln in ev("backwards", "EV_BACKWARD")]
+    out.append("else:")
+    out += ["    " + ln for ln in ev("idles", "EV_IDLE")]
+    return out
+
+
+def _generate_source(netlist, check_protocol, profile, content_hash):
+    plan = _build_plan(netlist)
+    g = _Gen(plan)
+    nodes, channels = plan.nodes, plan.channels
+    boxed = plan.boxed
+    fast_channels = [ci for ci in range(len(channels)) if ci not in boxed]
+    body = []  # _cycle body lines, relative indentation included
+
+    # -- nondeterministic choices (model-checker path only) -----------------
+    if plan.choosers:
+        body.append("if choices is not None:")
+        for ni in plan.choosers:
+            n = g.node_ref(ni)
+            body += [
+                f"    if {n}.choice_space() > 1:",
+                f"        {n}.set_choice(choices.get({nodes[ni].name!r}, 0))",
+            ]
+
+    # -- pre-cycle hooks (freeze randomized / nondet decisions) -------------
+    for ni in plan.pre_cycles:
+        name = f"_p{ni}"
+        g.bind[name] = f"_nodes[{ni}].pre_cycle"
+        body.append(f"{name}()")
+
+    # -- clear: boxed channels via the shared clear path, fast channels as
+    # -- fresh locals (events caches invalidated for both) ------------------
+    for ci in sorted(boxed):
+        body.append(f"{g.chan_ref(ci)}.clear_cycle()")
+    locals_ = [f"{_LOC[s]}{ci}" for ci in fast_channels
+               for s in ("vp", "sp", "vm", "sm", "data")]
+    body += _chunk_chain(locals_, "None", size=10)
+    body += _chunk_chain([f"{g.chan_ref(ci)}.events_cache" for ci in fast_channels],
+                         "None", size=8)
+
+    # -- straight-line region, in scheduled signal-task order ---------------
+    for ni, reads, writes, emit in plan.task_order:
+        node = nodes[ni]
+        body.append(f"# {node.name} ({node.kind})")
+        emit(g, ni, node, body)
+        g.cover(node, [(p, s) for p, s in writes if s != "data"])
+    if profile and plan.fast:
+        for ni in plan.fast:
+            body.append(f"_cc[{ni}] += 1")
+
+    # -- cyclic residue: generated inner fix-point over the real comb() -----
+    if plan.deferred:
+        # each productive sweep resolves >= 1 of the boxed signals
+        bound = 5 * max(len(boxed), 1) + 2
+        if profile:
+            body += ["_ne = 0", "_sw = 0"]
+        body.append(f"for _ in range({bound}):")
+        if profile:
+            body.append("    _sw += 1")
+        body.append("    _chg = False")
+        for ni in plan.deferred:
+            name = f"_f{ni}"
+            g.bind[name] = f"_nodes[{ni}].comb"
+            body += [f"    if {name}():", "        _chg = True"]
+            if profile:
+                body.append(f"    _cc[{ni}] += 1")
+        if profile:
+            body.append(f"    _ne += {len(plan.deferred)}")
+        body += ["    if not _chg:", "        break"]
+
+    if profile:
+        extra = " + _ne" if plan.deferred else ""
+        sweeps = "_sw" if plan.deferred else "1"
+        body += [
+            f"_sim.evals_per_cycle.append({len(plan.fast)}{extra})",
+            f"_sim.sweeps_per_cycle.append({sweeps})",
+        ]
+
+    # -- flush locals into the ChannelState objects (observers, fallback
+    # -- ticks, the model checker's packed reader and Channel.events() all
+    # -- read them between phases / cycles) ---------------------------------
+    for ci in fast_channels:
+        st = g.state_ref(ci)
+        body.append("; ".join(
+            f"{st}.{s} = {_LOC[s]}{ci}" for s in ("vp", "sp", "vm", "sm", "data")
+        ))
+
+    # -- resolution check (combinational-loop diagnosis) --------------------
+    # Fast-channel controls are unconditionally assigned two-valued
+    # expressions (audited below), so only the data obligation can fail;
+    # boxed channels get the full unresolved test.
+    for ci in range(len(channels)):
+        if ci in boxed:
+            st = g.state_ref(ci)
+            body.append(
+                f"if {st}.vp is None or {st}.sp is None or {st}.vm is None "
+                f"or {st}.sm is None or ({st}.vp and {st}.data is None):"
+            )
+        else:
+            body.append(f"if {_LOC['vp']}{ci} and {_LOC['data']}{ci} is None:")
+        body.append("    _diag(cycle)")
+
+    # -- protocol monitor, inlined (exact ProtocolMonitor.observe mirror) ---
+    if check_protocol:
+        exempt = ProtocolMonitor(netlist)._retry_exempt
+        for ci, ch in enumerate(channels):
+            key = repr(ch.name)
+            vp, sp, vm, sm, da = (g.csig(ci, s)
+                                  for s in ("vp", "sp", "vm", "sm", "data"))
+            body += [
+                f"if {vm} and {sp}:",
+                f"    _mf('Invariant', {key}, cycle, 'V- and S+ both asserted')",
+                f"if {vp} and {vm} and {sm}:",
+                f"    _mf('Invariant', {key}, cycle, "
+                "'cancellation with S- asserted')",
+            ]
+            if ch.name not in exempt:
+                body += [
+                    f"_pv = _mp.get({key})",
+                    "if _pv is not None:",
+                    "    _pvp, _psp, _pvm, _psm, _pd = _pv",
+                    "    if _pvp and _psp and not _pvm:",
+                    f"        if not {vp}:",
+                    f"            _mf('Retry+', {key}, cycle, "
+                    "'stalled token withdrawn')",
+                    f"        if {da} != _pd:",
+                    f"            _mf('Retry+', {key}, cycle, "
+                    f"f'stalled token changed data {{_pd!r}} -> {{{da}!r}}')",
+                    "    if _pvm and _psm and not _pvp:",
+                    f"        if not {vm}:",
+                    f"            _mf('Retry-', {key}, cycle, "
+                    "'stalled anti-token withdrawn')",
+                ]
+            body.append(f"_mp[{key}] = ({vp}, {sp}, {vm}, {sm}, {da})")
+
+    # -- events + statistics (step) / events dict (step_with_choices) -------
+    body.append("if choices is None:")
+    counters = {"transfers": "_tr", "cancels": "_ca", "backwards": "_ba",
+                "stalls": "_sl", "idles": "_il"}
+    for ci, ch in enumerate(channels):
+        cache = f"{g.chan_ref(ci)}.events_cache"
+        body += ["    " + ln
+                 for ln in _events_block(g, ci, ch.name, cache, counters=counters)]
+    body += [
+        "    _stats.cycles += 1",
+        "    for _ob in _sim.observers:",
+        "        _ob.observe(cycle, _net)",
+        "else:",
+        "    _evd = {}",
+    ]
+    for ci, ch in enumerate(channels):
+        key = repr(ch.name)
+        block = _events_block(g, ci, ch.name, "_e")
+        body += ["    " + ln for ln in block]
+        body += [f"    {g.chan_ref(ci)}.events_cache = _e",
+                 f"    _evd[{key}] = _e"]
+
+    # -- clock edge ---------------------------------------------------------
+    for ni in plan.ticks:
+        node = nodes[ni]
+        emitter = _TICK_EMITTERS.get(_definer(type(node), "tick"))
+        if emitter is not None and plan.bound_ok[ni]:
+            body.append(f"# tick {node.name} ({node.kind})")
+            emitter(g, ni, node, body)
+        else:
+            name = f"_t{ni}"
+            g.bind[name] = f"_nodes[{ni}].tick"
+            body.append(f"{name}()")
+
+    body += ["if choices is not None:", "    return _evd"]
+
+    # -- audit: every fast channel's four controls must be written
+    # -- unconditionally by the straight-line region ------------------------
+    for ci in fast_channels:
+        for sig in _CONTROLS:
+            if (ci, sig) not in g.covered:
+                raise AssertionError(
+                    f"pysim elaboration bug: {channels[ci].name}.{sig} is not "
+                    "unconditionally driven by the straight-line region"
+                )
+
+    # fixed environment bindings
+    g.bind.update({
+        "_stats": "_stats",
+        "_tr": "_stats.transfers", "_ca": "_stats.cancels",
+        "_ba": "_stats.backwards", "_sl": "_stats.stalls",
+        "_il": "_stats.idles",
+        "_sim": 'env["backend"]', "_net": 'env["netlist"]',
+        "_diag": 'env["diagnose"]',
+        "EV_IDLE": 'env["EV_IDLE"]', "EV_CANCEL": 'env["EV_CANCEL"]',
+        "EV_BACKWARD": 'env["EV_BACKWARD"]',
+        "ChannelEvents": 'env["ChannelEvents"]',
+    })
+    if check_protocol:
+        g.bind.update({"_mp": "_mon._prev", "_mf": "_mon._fail"})
+    if profile:
+        g.bind["_cc"] = 'env["comb_calls"]'
+
+    params = [f"{name}={expr}" for name, expr in g.bind.items()]
+    lines = [
+        f"# generated by repro.backend.pysim — topology {content_hash}",
+        f"# netlist {netlist.name!r}: {len(nodes)} nodes, {len(channels)} "
+        f"channels ({len(plan.fast)} straight-line, {len(plan.deferred)} "
+        f"deferred, {len(boxed)} boxed)",
+        f"# flags: check_protocol={bool(check_protocol)}, "
+        f"profile={bool(profile)}",
+        "",
+        "def build(env):",
+        '    _nodes = env["nodes"]',
+        '    _channels = env["channels"]',
+        '    _stats = env["stats"]',
+        '    _mon = env["monitor"]',
+        "",
+        "    def _cycle(",
+        "        cycle,",
+        "        choices,",
+    ]
+    lines += [f"        {p}," for p in params]
+    lines.append("    ):")
+    lines += ["        " + ln if ln else "" for ln in body]
+    lines += ["", "    return _cycle", ""]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# module cache
+# ---------------------------------------------------------------------------
+
+
+class CompiledModule:
+    """One exec-compiled module for one (topology, flags) key."""
+
+    __slots__ = ("source", "build", "content_hash")
+
+    def __init__(self, source, build, content_hash):
+        self.source = source
+        self.build = build
+        self.content_hash = content_hash
+
+
+_MODULE_CACHE = {}
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def _module_key(netlist, check_protocol, profile):
+    from repro.sim.batch import topology_signature
+
+    return (topology_signature(netlist), bool(check_protocol), bool(profile))
+
+
+def _module_for(netlist, check_protocol, profile):
+    key = _module_key(netlist, check_protocol, profile)
+    module = _MODULE_CACHE.get(key)
+    if module is not None:
+        _CACHE_STATS["hits"] += 1
+        return module
+    _CACHE_STATS["misses"] += 1
+    content_hash = hashlib.sha256(repr(key).encode()).hexdigest()[:16]
+    source = _generate_source(netlist, check_protocol, profile, content_hash)
+    namespace = {}
+    exec(compile(source, f"<pysim:{content_hash}>", "exec"), namespace)
+    module = CompiledModule(source, namespace["build"], content_hash)
+    _MODULE_CACHE[key] = module
+    return module
+
+
+def generated_source(netlist, check_protocol=True, profile=False):
+    """The generated module source for ``netlist`` (compiling and caching
+    it if this topology has not been elaborated yet) — the inspection aid
+    behind ``repro elaborate``."""
+    netlist.validate()
+    return _module_for(netlist, check_protocol, profile).source
+
+
+def cache_stats():
+    """Process-wide module-cache counters: ``hits`` (reused modules),
+    ``re_elaborations`` (actual codegen+compile runs), ``modules``
+    (currently cached)."""
+    return {
+        "hits": _CACHE_STATS["hits"],
+        "re_elaborations": _CACHE_STATS["misses"],
+        "modules": len(_MODULE_CACHE),
+    }
+
+
+def clear_module_cache():
+    """Drop every cached module and zero the counters (test hygiene)."""
+    _MODULE_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+# ---------------------------------------------------------------------------
+# runtime backend (the engine="codegen" delegate of Simulator)
+# ---------------------------------------------------------------------------
+
+
+class CodegenBackend:
+    """Owns one compiled-cycle function for one netlist.
+
+    :class:`~repro.sim.engine.Simulator` delegates to this exactly like it
+    delegates ``engine="batch"`` to a one-lane ``BatchSimulator``; the
+    stats / monitor objects are shared with the wrapper, and structural
+    edits re-elaborate lazily on the next ``step``/``reset`` (see the
+    module docstring on caching and staleness).
+    """
+
+    def __init__(self, netlist, check_protocol=True, observers=None,
+                 profile=False):
+        self.netlist = netlist
+        self.check_protocol = bool(check_protocol)
+        self.profile = bool(profile)
+        self.observers = observers if observers is not None else []
+        self.cycle = 0
+        self.stats = ChannelStats(netlist)
+        self.monitor = ProtocolMonitor(netlist) if check_protocol else None
+        self._structures_dirty = False
+        self._edited_channels = set()
+        self.re_elaborations = 0
+        if self.profile:
+            self.evals_per_cycle = []
+            self.sweeps_per_cycle = []
+        self._nodes = []
+        self._elaborate()
+        netlist.reset()
+
+    # -- elaboration --------------------------------------------------------
+
+    def _elaborate(self):
+        prev_nodes = self._nodes
+        netlist = self.netlist
+        self._nodes = list(netlist.nodes.values())
+        self._channels = list(netlist.channels.values())
+        self._choosers = [node for node in self._nodes
+                          if type(node).choice_space is not Node.choice_space]
+        # Take ownership naive-style: detach any change log a previous
+        # worklist simulator registered (its step() will say so).
+        for channel in self._channels:
+            channel.state.log = None
+        if self.profile:
+            counts = {node.name: calls for node, calls
+                      in zip(prev_nodes, getattr(self, "comb_calls", []))}
+            self.comb_calls = [counts.get(node.name, 0) for node in self._nodes]
+        module = _module_for(netlist, self.check_protocol, self.profile)
+        self.module = module
+        self.re_elaborations += 1
+        env = {
+            "nodes": self._nodes,
+            "channels": self._channels,
+            "stats": self.stats,
+            "monitor": self.monitor,
+            "backend": self,
+            "netlist": netlist,
+            "diagnose": self._diagnose,
+            "EV_IDLE": _ev().EV_IDLE,
+            "EV_CANCEL": _ev().EV_CANCEL,
+            "EV_BACKWARD": _ev().EV_BACKWARD,
+            "ChannelEvents": _ev().ChannelEvents,
+        }
+        if self.profile:
+            env["comb_calls"] = self.comb_calls
+        self._cycle_fn = module.build(env)
+
+    def _refresh(self):
+        """Deferred re-elaboration after one or more structural edits."""
+        self._structures_dirty = False
+        self._elaborate()
+        if self.monitor is not None:
+            self.monitor.structure_changed()
+            for name in self._edited_channels:
+                self.monitor._prev.pop(name, None)
+        self._edited_channels.clear()
+
+    def apply_edit(self, edit):
+        """Record one structural edit; the compiled cycle is rebuilt (via
+        the module cache) right before the next step — stale generated
+        code is never executed."""
+        from repro.netlist.edits import CONNECT, DISCONNECT
+
+        if edit.op == CONNECT:
+            self.stats.add_channel(edit.channel)
+        if edit.op in (CONNECT, DISCONNECT):
+            self._edited_channels.add(edit.channel)
+        self._structures_dirty = True
+
+    # -- per-cycle drive ----------------------------------------------------
+
+    def _check_ownership(self):
+        channels = self._channels
+        if channels and channels[0].state.log is not None:
+            raise RuntimeError(
+                "netlist is now owned by a newer Simulator; this simulator "
+                "would bypass the new simulator's change log — construct a "
+                "fresh Simulator instead of reusing this one"
+            )
+
+    def _diagnose(self, cycle):
+        """Exact ``Simulator._check_resolved`` mirror over the (already
+        flushed) channel states; only called when a quick inline test saw
+        an unresolved signal, and always raises."""
+        unresolved = []
+        for channel in self._channels:
+            state = channel.state
+            if not state.resolved():
+                unresolved.extend(
+                    f"{channel.name}.{sig}"
+                    for sig in state.unresolved_signals()
+                )
+            elif state.vp and state.data is None:
+                unresolved.append(f"{channel.name}.data")
+        raise CombinationalLoopError(unresolved, cycle=cycle)
+
+    def step(self):
+        # Ownership first: a dirty refresh would re-null the channel logs
+        # and silently steal the netlist back from a newer simulator.
+        self._check_ownership()
+        if self._structures_dirty:
+            self._refresh()
+        self._cycle_fn(self.cycle, None)
+        done = self.cycle
+        self.cycle += 1
+        return done
+
+    def step_with_choices(self, choices):
+        self._check_ownership()
+        if self._structures_dirty:
+            self._refresh()
+        events = self._cycle_fn(self.cycle, choices)
+        self.cycle += 1
+        return events
+
+    def choice_nodes(self):
+        if self._structures_dirty:
+            self._refresh()
+        return [node for node in self._choosers if node.choice_space() > 1]
+
+    def reset(self):
+        if self._structures_dirty:
+            self._refresh()
+        self.netlist.reset()
+        self.cycle = 0
+        self.stats.reset()
+        if self.monitor is not None:
+            self.monitor.reset()
+
+    # -- profiling ----------------------------------------------------------
+
+    def profile_report(self):
+        if self._structures_dirty:
+            self._refresh()
+        from repro.sim.profile import ProfileReport
+
+        by_kind = {}
+        for node, calls in zip(self._nodes, self.comb_calls):
+            entry = by_kind.setdefault(node.kind, [0, 0])
+            entry[0] += calls
+            entry[1] += 1
+        return ProfileReport(
+            engine="codegen",
+            cycles=self.cycle,
+            n_nodes=len(self._nodes),
+            comb_calls_by_kind={k: tuple(v) for k, v in sorted(by_kind.items())},
+            total_comb_calls=sum(self.comb_calls),
+            evals_per_cycle=list(self.evals_per_cycle),
+            sweeps_per_cycle=list(self.sweeps_per_cycle),
+        )
+
+
+def _ev():
+    """Late import of the interned event constants (kept in one place)."""
+    from repro.elastic import channel
+
+    return channel

@@ -12,16 +12,20 @@ Usage (after installation)::
     python -m repro sweep [--grid fig6] [--workers 4] [--lanes 8]  # sharded sweeps
     python -m repro explore SCRIPT [--design fig1a] [--measure CH]  # warm transform loop
     python -m repro lint [SCRIPT] [--design fig1a] [--json] [--fail-on warning]  # static analysis
+    python -m repro elaborate [SCRIPT] [--design fig1d] [--dump [FILE]]  # generated codegen module
     python -m repro serve ROOT [--max-queue 8] [--deadline S]   # persistent job server
     python -m repro submit KIND --root ROOT [--design D]        # run a job on the server
 
-The global ``--engine {worklist,naive,batch}`` option (before the
+The global ``--engine {worklist,naive,batch,codegen}`` option (before the
 subcommand) selects the fix-point engine for every simulation and
 model-checking run; the event-driven worklist engine is the default, the
-dense-sweep naive engine is kept for cross-checking, and the lane-parallel
+dense-sweep naive engine is kept for cross-checking, the lane-parallel
 batch engine bit-packs N sweep configurations per fix-point pass
 (``sweep --lanes N`` groups same-topology configurations into batches
-inside each worker).
+inside each worker), and the codegen engine compiles each topology into a
+specialized straight-line Python module (``elaborate`` inspects the
+generated source).  Unknown engine names are rejected up front with the
+valid-choices list.
 
 Long-running subcommands are resilient: ``sweep`` and ``verify`` accept
 ``--checkpoint`` / ``--timeout`` / ``--retries`` (supervised workers with
@@ -160,7 +164,7 @@ def _cmd_verify(args):
     from repro.verif.explore import StateExplorer
     from repro.verif.leads_to import check_leads_to
 
-    if args.lanes > 1 and args.engine in ("worklist", "naive"):
+    if args.lanes > 1 and args.engine in ("worklist", "naive", "codegen"):
         print(f"error: --engine {args.engine} is a scalar engine; "
               "--lanes implies the lane-batched explorer", file=sys.stderr)
         return 2
@@ -396,6 +400,44 @@ def _cmd_lint(args):
     return 1 if report.exceeds(args.fail_on) else 0
 
 
+def _cmd_elaborate(args):
+    from repro.backend import pysim
+
+    net = _DESIGNS[args.design]()
+    if args.script:
+        # Elaborate the design point a transform script produces, not the
+        # canned seed (same convention as `lint`).
+        from repro.transform.session import Session
+
+        session = Session(net)
+        if args.script == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.script) as fh:
+                text = fh.read()
+        session.run_script(text)
+        net = session.netlist
+    source = pysim.generated_source(
+        net, check_protocol=not args.no_protocol, profile=args.profile)
+    if args.dump == "-":
+        print(source)
+    elif args.dump is not None:
+        with open(args.dump, "w") as fh:
+            fh.write(source)
+        print(f"wrote {args.dump}")
+    else:
+        # Header summary only (the generated banner comments).
+        for line in source.splitlines():
+            if not line.startswith("#"):
+                break
+            print(line.lstrip("# "))
+    stats = pysim.cache_stats()
+    print(f"cache: {stats['hits']} hits, "
+          f"{stats['re_elaborations']} re-elaborations, "
+          f"{stats['modules']} modules cached")
+    return 0
+
+
 def _cmd_serve(args):
     from repro.runtime.control import install_term_handler
     from repro.serve.server import serve_forever
@@ -496,9 +538,11 @@ def build_parser():
         description="Speculation in Elastic Systems (DAC 2009) — reproduction toolkit",
     )
     parser.add_argument(
-        "--engine", choices=["worklist", "naive", "batch"], default=None,
+        "--engine", choices=["worklist", "naive", "batch", "codegen"],
+        default=None,
         help="fix-point engine for all simulation/verification "
-             "(default: worklist; batch = lane-parallel bit-packed engine)",
+             "(default: worklist; batch = lane-parallel bit-packed engine; "
+             "codegen = compiled straight-line module per topology)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -620,6 +664,29 @@ def build_parser():
                         "(executes every node's comb() under fuzzed "
                         "channel states)")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "elaborate",
+        help="compile a design with the codegen engine and show the "
+             "generated module (debugging/inspection aid)",
+    )
+    p.add_argument("script", nargs="?", default=None,
+                   help="optional transform script to apply before "
+                        "elaborating (one command per line, # comments; "
+                        "'-' reads stdin)")
+    p.add_argument("--design", choices=sorted(_DESIGNS), default="fig1d")
+    p.add_argument("--dump", nargs="?", const="-", default=None,
+                   metavar="FILE",
+                   help="print the full generated module source (or save "
+                        "it to FILE); default shows the banner summary "
+                        "only")
+    p.add_argument("--no-protocol", action="store_true",
+                   help="elaborate without the inlined protocol monitor "
+                        "(check_protocol=False variant)")
+    p.add_argument("--profile", action="store_true",
+                   help="elaborate the instrumented variant (per-node "
+                        "call counters and eval histograms woven in)")
+    p.set_defaults(fn=_cmd_elaborate)
 
     p = sub.add_parser(
         "serve",

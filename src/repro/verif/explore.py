@@ -19,8 +19,9 @@ Exploration engines
 -------------------
 
 ``lanes=1`` (default) — classic breadth-first search: one scalar
-fix-point (``engine=`` selects worklist / naive / one-lane batch) per
-explored ``(state, choice-vector)`` transition.
+fix-point (``engine=`` selects worklist / naive / one-lane batch / the
+compiled ``codegen`` module) per explored ``(state, choice-vector)``
+transition.
 
 ``lanes=N`` — the lane-batched frontier engine.  Every successor
 expansion of a BFS frontier is same-topology by construction, differing

@@ -1,0 +1,409 @@
+"""Differential testing of the codegen engine against the worklist engine.
+
+The compiled engine (``engine="codegen"``, :mod:`repro.backend.pysim`)
+elaborates each topology into one specialized straight-line Python module.
+Its contract is the same bar PRs 3–5 held the batch engine and the
+sensitivity patches to: *bit-identical* behaviour to the worklist engine —
+transfer streams, per-channel statistics, protocol verdicts (including the
+exact violation raised), combinational-loop diagnoses, and snapshot /
+restore round-trips.  These tests reuse the :mod:`test_engine_diff` fuzz
+corpus plus the canned paper designs (fig1 / fig6 / fig7), and pin the
+PR 9 satellites: up-front unknown-engine rejection and the stale-code
+safety guards around the compiled-module cache.
+"""
+
+import random
+
+import pytest
+
+from repro.backend import pysim
+from repro.designs import DESIGNS
+from repro.elastic.buffers import ElasticBuffer
+from repro.elastic.environment import ListSource, Sink
+from repro.elastic.fork import EagerFork
+from repro.elastic.functional import Func
+from repro.errors import CombinationalLoopError, ProtocolViolationError
+from repro.netlist import patterns
+from repro.netlist.graph import Netlist
+from repro.sim.engine import (
+    ENGINES,
+    Simulator,
+    get_default_engine,
+    set_default_engine,
+)
+from repro.sim.stats import TransferLog
+from repro.transform.bubbles import insert_bubble
+
+from test_engine_diff import N_RANDOM_NETLISTS, _random_pipeline_params, _stats_dict
+from test_fuzz import build_pipeline
+
+
+def _run_one(make_net, engine, cycles):
+    net = make_net()
+    log = TransferLog(list(net.channels))
+    sim = Simulator(net, engine=engine, observers=[log])
+    sim.run(cycles)
+    streams = {name: log.streams[name] for name in net.channels}
+    return net, _stats_dict(sim), streams
+
+
+def assert_codegen_identical(make_net, cycles=250, sink="snk"):
+    """Run ``make_net()`` once per engine and compare everything observable:
+    transfer streams (values *and* cycles) of every channel, the full
+    per-channel statistics, and the sink's received stream."""
+    net_w, stats_w, streams_w = _run_one(make_net, "worklist", cycles)
+    net_c, stats_c, streams_c = _run_one(make_net, "codegen", cycles)
+    assert streams_c == streams_w
+    assert stats_c == stats_w
+    if sink is not None and sink in net_w.nodes:
+        assert net_c.nodes[sink].values == net_w.nodes[sink].values
+
+
+class TestRandomPipelines:
+    @pytest.mark.parametrize("seed", range(N_RANDOM_NETLISTS))
+    def test_codegen_bit_identical(self, seed):
+        stages, stall, kill = _random_pipeline_params(seed)
+        values = list(range(25))
+
+        def make():
+            return build_pipeline(stages, stall, seed, values, kill=kill)
+
+        assert_codegen_identical(make, cycles=250)
+
+
+class TestPaperDesigns:
+    """The canned paper designs: fig1a/fig1d exercise the mixed
+    straight-line + deferred + boxed path (eemux/shared kinds demote),
+    fig6b/fig7b the speculative variable-latency/resilient compositions."""
+
+    @pytest.mark.parametrize("name", sorted(DESIGNS))
+    def test_design_identical(self, name):
+        assert_codegen_identical(lambda: DESIGNS[name](), cycles=200,
+                                 sink=None)
+
+    def test_fig1d_pattern_identical(self):
+        assert_codegen_identical(
+            lambda: patterns.fig1d(lambda g: g % 2)[0], cycles=200, sink=None
+        )
+
+    def test_deep_zbl_pipeline_identical(self):
+        assert_codegen_identical(
+            lambda: patterns.deep_pipeline(8, source_values=list(range(100)),
+                                           stall_rate=0.4),
+            cycles=200,
+        )
+
+    def test_fork_join_diamond_identical(self):
+        def make():
+            net = Netlist("diamond")
+            net.add(ListSource("src", list(range(15))))
+            net.add(EagerFork("fork", n_outputs=2))
+            net.add(ElasticBuffer("p0"))
+            net.add(ElasticBuffer("p1a"))
+            net.add(ElasticBuffer("p1b"))
+            net.add(Func("join", lambda a, b: (a, b), n_inputs=2))
+            net.add(Sink("snk", stall_rate=0.3, seed=7))
+            net.connect("src.o", "fork.i", name="in")
+            net.connect("fork.o0", "p0.i", name="a0")
+            net.connect("p0.o", "join.i0", name="a1")
+            net.connect("fork.o1", "p1a.i", name="b0")
+            net.connect("p1a.o", "p1b.i", name="b1")
+            net.connect("p1b.o", "join.i1", name="b2")
+            net.connect("join.o", "snk.i", name="out")
+            return net
+
+        assert_codegen_identical(make, cycles=200)
+
+
+class TestProtocolViolationParity:
+    """The inlined monitor must raise the *same* violation as the scalar
+    monitor: same property, channel, cycle, and message."""
+
+    class WithdrawingSource(ElasticBuffer):
+        """Deliberately broken: withdraws a stalled token after 2 cycles.
+
+        Subclasses ElasticBuffer only to inherit wiring; ``comb`` is
+        replaced by a protocol-violating offer, so codegen demotes the node
+        to the deferred loop and the violation reaches the generated
+        monitor through a boxed channel.
+        """
+
+        batch_comb = None
+
+        def __init__(self, name):
+            super().__init__(name, init=(1, 2))
+            self._age = 0
+
+        def comb(self):
+            changed = self.drive("o", "vp", self._age < 2)
+            if self._age < 2:
+                changed |= self.drive("o", "data", 7)
+            changed |= self.drive("o", "sm", False)
+            changed |= self.drive("i", "sp", True)
+            changed |= self.drive("i", "vm", False)
+            return changed
+
+        def tick(self):
+            self._age += 1
+
+    def _net(self):
+        net = Netlist("broken")
+        net.add(ListSource("src", []))
+        net.add(self.WithdrawingSource("bad"))
+        net.add(Sink("snk", stall_rate=1.0, seed=1))
+        net.connect("src.o", "bad.i", name="in")
+        net.connect("bad.o", "snk.i", name="out")
+        return net
+
+    def test_same_violation_as_worklist(self):
+        scalar = Simulator(self._net(), engine="worklist")
+        with pytest.raises(ProtocolViolationError) as scalar_err:
+            scalar.run(10)
+        compiled = Simulator(self._net(), engine="codegen")
+        with pytest.raises(ProtocolViolationError) as codegen_err:
+            compiled.run(10)
+        for attr in ("prop", "channel", "cycle"):
+            assert getattr(codegen_err.value, attr) == getattr(
+                scalar_err.value, attr
+            )
+        assert str(codegen_err.value) == str(scalar_err.value)
+
+    def test_violation_recorded_on_monitor(self):
+        sim = Simulator(self._net(), engine="codegen")
+        with pytest.raises(ProtocolViolationError):
+            sim.run(10)
+        assert len(sim.monitor.violations) == 1
+
+
+class TestLoopDiagnosisParity:
+    def _loop_net(self):
+        net = Netlist("loop")
+        net.add(Func("f", lambda x: x, n_inputs=1))
+        net.add(Func("g", lambda x: x, n_inputs=1))
+        net.connect("f.o", "g.i0", name="a")
+        net.connect("g.o", "f.i0", name="b")
+        return net
+
+    def test_same_unresolved_signals(self):
+        diagnoses = {}
+        for engine in ("worklist", "codegen"):
+            sim = Simulator(self._loop_net(), engine=engine)
+            with pytest.raises(CombinationalLoopError) as err:
+                sim.step()
+            diagnoses[engine] = (sorted(err.value.unresolved), err.value.cycle,
+                                 str(err.value))
+        assert diagnoses["codegen"] == diagnoses["worklist"]
+
+    def test_partial_loop_same_diagnosis(self):
+        """A loop hanging off a healthy pipeline: the pipeline part goes
+        straight-line, the cyclic residue is demoted — and still reported
+        identically."""
+
+        def make_net():
+            net = Netlist("mixed")
+            net.add(ListSource("src", [1, 2]))
+            net.add(ElasticBuffer("eb"))
+            net.add(Sink("snk"))
+            net.connect("src.o", "eb.i", name="in")
+            net.connect("eb.o", "snk.i", name="out")
+            net.add(Func("f", lambda x: x, n_inputs=1))
+            net.add(Func("g", lambda x: x, n_inputs=1))
+            net.connect("f.o", "g.i0", name="a")
+            net.connect("g.o", "f.i0", name="b")
+            return net
+
+        diagnoses = {}
+        for engine in ("worklist", "codegen"):
+            sim = Simulator(make_net(), engine=engine)
+            with pytest.raises(CombinationalLoopError) as err:
+                sim.step()
+            diagnoses[engine] = sorted(err.value.unresolved)
+        assert diagnoses["codegen"] == diagnoses["worklist"]
+
+
+class TestSnapshotRestore:
+    """snapshot/restore round-trips: restoring mid-run state and replaying
+    must land both engines on the same streams."""
+
+    def _make(self):
+        return patterns.deep_pipeline(6, source_values=list(range(40)),
+                                      stall_rate=0.3)
+
+    def _roundtrip(self, engine):
+        net = self._make()
+        log = TransferLog(list(net.channels))
+        sim = Simulator(net, engine=engine, observers=[log])
+        sim.run(20)
+        snap = sim.state()
+        sim.run(15)                      # diverge past the snapshot...
+        mid = {n: list(s) for n, s in log.streams.items()}
+        sim.load_state(snap)             # ...then rewind and replay
+        sim.run(15)
+        return mid, {n: list(s) for n, s in log.streams.items()}, _stats_dict(sim)
+
+    def test_roundtrip_matches_worklist(self):
+        mid_w, final_w, stats_w = self._roundtrip("worklist")
+        mid_c, final_c, stats_c = self._roundtrip("codegen")
+        assert mid_c == mid_w
+        assert final_c == final_w
+        assert stats_c == stats_w
+
+    def test_restore_replays_identically(self):
+        """Replaying from a snapshot produces the same tail the original
+        run produced.  Deterministic (no-stall) pipeline: environment rng
+        draws are not sequential netlist state, so only a deterministic
+        design replays bit-identically from a snapshot."""
+        net = patterns.deep_pipeline(6, source_values=list(range(40)),
+                                     stall_rate=0.0)
+        sim = Simulator(net, engine="codegen")
+        sim.run(20)
+        snap = sim.state()
+        log_a = TransferLog(list(net.channels))
+        sim.observers.append(log_a)
+        sim.run(10)
+        tail_a = {n: list(s) for n, s in log_a.streams.items()}
+        sim.observers.remove(log_a)
+        sim.load_state(snap)
+        log_b = TransferLog(list(net.channels))
+        sim.observers.append(log_b)
+        sim.run(10)
+        tail_b = {n: list(s) for n, s in log_b.streams.items()}
+        # transfer *values* replay identically; cycle numbers differ by the
+        # 10 extra wall cycles, so compare the value streams.
+        strip = lambda streams: {n: [v for (_c, v) in s] for n, s in streams.items()}
+        assert strip(tail_b) == strip(tail_a)
+
+
+class TestEngineValidation:
+    """Satellite: unknown engine names are rejected up front, everywhere,
+    with the valid-choices list."""
+
+    def test_simulator_rejects_unknown_engine(self):
+        net = build_pipeline(["eb"], 0.0, 0, [1, 2])
+        with pytest.raises(ValueError, match=r"unknown engine 'jit'"):
+            Simulator(net, engine="jit")
+
+    def test_simulator_error_lists_choices(self):
+        net = build_pipeline(["eb"], 0.0, 0, [1, 2])
+        with pytest.raises(ValueError) as err:
+            Simulator(net, engine="jit")
+        for name in ENGINES:
+            assert name in str(err.value)
+
+    def test_set_default_engine_rejects_unknown(self):
+        with pytest.raises(ValueError, match=r"unknown engine 'turbo'"):
+            set_default_engine("turbo")
+        # a failed set leaves the default untouched
+        assert get_default_engine() in ENGINES
+
+    def test_sweep_spec_rejects_unknown(self):
+        from repro.perf.sweep import SweepSpec
+
+        with pytest.raises(ValueError, match="unknown engine"):
+            SweepSpec(name="s", factory="deep_pipeline", base={}, grid={},
+                      cycles=10, engine="warp")
+
+    def test_cli_rejects_unknown_engine(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as err:
+            main(["--engine", "warp", "profile", "--design", "fig1d"])
+        assert err.value.code == 2
+
+    def test_codegen_listed_everywhere(self):
+        assert "codegen" in ENGINES
+
+
+class TestStaleCodeSafety:
+    """Satellite: a mutated design can never run stale compiled code —
+    mirrors the PR 4 stale-structure guards."""
+
+    def _net(self):
+        return build_pipeline(["eb", "func"], 0.0, 3, list(range(8)))
+
+    def test_unpatched_codegen_refuses_step(self):
+        net = self._net()
+        sim = Simulator(net, engine="codegen")
+        insert_bubble(net, "c0")
+        with pytest.raises(RuntimeError, match="structurally edited"):
+            sim.step()
+
+    def test_unpatched_codegen_refuses_step_with_choices(self):
+        net = self._net()
+        sim = Simulator(net, engine="codegen")
+        insert_bubble(net, "c0")
+        with pytest.raises(RuntimeError, match="structurally edited"):
+            sim.step_with_choices({})
+
+    def test_followed_edit_re_elaborates(self):
+        """A follow_edits simulator re-elaborates on the next step and runs
+        the *new* topology's code — matching a fresh build exactly."""
+        net = self._net()
+        sim = Simulator(net, engine="codegen", follow_edits=True)
+        sim.run(5)
+        insert_bubble(net, "c0")
+        sim.reset()
+        sim.run(40)
+        got = net.nodes["snk"].values
+
+        fresh_net = self._net()
+        insert_bubble(fresh_net, "c0")
+        fresh = Simulator(fresh_net, engine="codegen")
+        fresh.run(40)
+        assert got == fresh_net.nodes["snk"].values
+
+        ref_net = self._net()
+        insert_bubble(ref_net, "c0")
+        Simulator(ref_net, engine="worklist").run(40)
+        assert got == ref_net.nodes["snk"].values
+
+    def test_followed_edit_bumps_re_elaborations(self):
+        pysim.clear_module_cache()
+        net = self._net()
+        sim = Simulator(net, engine="codegen", follow_edits=True)
+        sim.step()
+        before = pysim.cache_stats()["re_elaborations"]
+        insert_bubble(net, "c0")           # structural change -> new topology
+        sim.step()
+        assert pysim.cache_stats()["re_elaborations"] == before + 1
+
+    def test_superseded_codegen_does_not_steal_ownership(self):
+        """A stale codegen simulator must refuse to run once a newer
+        simulator owns the channels, instead of silently re-elaborating
+        over the newer simulator's change logs."""
+        net = self._net()
+        old = Simulator(net, engine="codegen", follow_edits=True)
+        old.step()
+        new = Simulator(net)               # worklist takes over the logs
+        with pytest.raises(RuntimeError, match="newer Simulator"):
+            old.step()
+        new.run(3)                         # the newer simulator still works
+
+
+class TestModuleCache:
+    def test_same_topology_hits_cache(self):
+        pysim.clear_module_cache()
+        Simulator(self._pipe(0), engine="codegen").run(5)
+        stats0 = pysim.cache_stats()
+        assert stats0["re_elaborations"] == 1
+        # same topology, different seed / values: pure cache hit
+        Simulator(self._pipe(1), engine="codegen").run(5)
+        stats1 = pysim.cache_stats()
+        assert stats1["re_elaborations"] == 1
+        assert stats1["hits"] == stats0["hits"] + 1
+
+    def test_different_flags_are_separate_modules(self):
+        pysim.clear_module_cache()
+        Simulator(self._pipe(0), engine="codegen").run(2)
+        Simulator(self._pipe(0), engine="codegen", check_protocol=False).run(2)
+        assert pysim.cache_stats()["modules"] == 2
+
+    def test_generated_source_is_python(self):
+        net = self._pipe(0)
+        source = pysim.generated_source(net)
+        compile(source, "<test>", "exec")  # must be valid Python
+        assert "def build(env):" in source
+
+    @staticmethod
+    def _pipe(seed):
+        return build_pipeline(["eb", "zbl"], 0.2, seed, list(range(10)))
