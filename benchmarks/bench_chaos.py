@@ -1,0 +1,96 @@
+"""E11 — chaos-harness overhead (``repro.chaos``).
+
+Measures what saboteur instrumentation costs and proves the oracle still
+closes under it:
+
+* **wrap overhead** — fig6b run clean vs wrapped with a seeded plan
+  (stall + bubble saboteurs on about half the channels), same cycle
+  count, best-of-``REPEATS`` wall clock.  The saboteurs are ordinary
+  nodes on the worklist engine's hot path, so the per-cycle slowdown
+  must stay well under the bar even with seven of them spliced in.
+* **oracle round trip** — one full :func:`repro.chaos.check_stream_invariance`
+  differential (golden run + sabotaged run + stream comparison +
+  unwrap), asserted to pass; its wall clock and elongation (sabotaged
+  cycles / golden cycles) land in the trajectory.
+
+Numbers land in ``results/BENCH_chaos.json`` via the shared
+``merge_json``; ``tests/test_perf_smoke.py`` guards the recorded
+overhead against regressions (a saboteur accidentally forcing the
+engine off its incremental path would show up here first).
+"""
+
+import time
+
+from conftest import merge_json, write_result
+
+from repro.chaos import ChaosPlan, check_stream_invariance, wrap
+from repro.designs import build_design
+from repro.sim.engine import Simulator
+
+DESIGN = "fig6b"
+CYCLES = 1500
+SEED = 1
+REPEATS = 3
+
+#: acceptance bar: per-cycle slowdown of a half-coverage wrapped run.
+MAX_WRAP_OVERHEAD = 3.0
+
+
+def _time_run(make_net):
+    best = None
+    for _ in range(REPEATS):
+        net = make_net()
+        sim = Simulator(net)
+        start = time.perf_counter()
+        sim.run(CYCLES)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def test_chaos_wrap_overhead():
+    plan = ChaosPlan.seeded(SEED, list(build_design(DESIGN).channels))
+
+    def golden():
+        return build_design(DESIGN)
+
+    def wrapped():
+        net = build_design(DESIGN)
+        wrap(net, plan)
+        return net
+
+    golden_s = _time_run(golden)
+    wrapped_s = _time_run(wrapped)
+    overhead = wrapped_s / golden_s
+
+    start = time.perf_counter()
+    report = check_stream_invariance(golden, plan, cycles=CYCLES // 5)
+    oracle_s = time.perf_counter() - start
+    assert report.ok, (report.mismatches, report.stuck)
+    elongation = report.chaos_cycles / report.cycles
+
+    merge_json("BENCH_chaos.json", {
+        "design": DESIGN,
+        "cycles": CYCLES,
+        "n_faults": len(plan.faults),
+        "plan_digest": plan.digest(),
+        "wall_seconds": {
+            "golden": golden_s,
+            "wrapped": wrapped_s,
+            "oracle_round_trip": oracle_s,
+        },
+        "wrap_overhead": overhead,
+        "oracle_elongation": elongation,
+        "oracle_ok": report.ok,
+    })
+    write_result(
+        "chaos_overhead.txt",
+        f"{DESIGN}: {len(plan.faults)} saboteurs on "
+        f"{CYCLES} cycles (best of {REPEATS})\n"
+        f"  golden:        {golden_s:6.3f}s\n"
+        f"  wrapped:       {wrapped_s:6.3f}s ({overhead:.2f}x per cycle)\n"
+        f"  oracle:        {oracle_s:6.3f}s round trip "
+        f"({elongation:.2f}x elongation, "
+        f"{'OK' if report.ok else 'FAIL'})",
+    )
+    assert overhead < MAX_WRAP_OVERHEAD

@@ -480,7 +480,7 @@ def _cmd_submit(args):
             return 0
         spec = {"kind": args.kind}
         for name in ("design", "grid", "channel", "cycles", "warmup",
-                     "max_states", "lanes", "rules", "seed"):
+                     "max_states", "lanes", "rules", "seed", "iterations"):
             value = getattr(args, name, None)
             if value is not None:
                 spec[name] = value
@@ -515,6 +515,171 @@ def _cmd_submit(args):
     detail = terminal.get("error") or terminal.get("reason") or ""
     print(f"{terminal['type']}: {detail}", file=sys.stderr)
     return 1
+
+
+def _cmd_chaos(args):
+    import json
+
+    from repro.chaos import (SABOTEUR_KINDS, ChaosPlan,
+                             check_stream_invariance, explore_invariance,
+                             run_soak)
+    from repro.errors import DeadlineExceeded, JobCancelled
+    from repro.runtime.control import (JobControl, install_term_handler,
+                                       interrupt_exit_code)
+
+    install_term_handler()
+    kinds = tuple(k for k in args.kinds.split(",") if k)
+    unknown = sorted(set(kinds) - set(SABOTEUR_KINDS))
+    if unknown:
+        print(f"error: unknown saboteur kind(s) {', '.join(unknown)} "
+              f"(known: {', '.join(sorted(SABOTEUR_KINDS))})",
+              file=sys.stderr)
+        return 2
+    from repro.designs import MC_DESIGNS
+    if args.exhaustive:
+        # Exhaustive mode explores every injection interleaving, so it
+        # needs the finite model-checking compositions (nondeterministic
+        # environments); the seeded simulation designs carry RNG state and
+        # never close their state graph.
+        if args.design not in MC_DESIGNS:
+            print(f"error: --exhaustive explores the model-checking "
+                  f"compositions (choose from: "
+                  f"{', '.join(sorted(MC_DESIGNS))})", file=sys.stderr)
+            return 2
+        from repro.designs import build_mc_design
+
+        def build():
+            return build_mc_design(args.design)
+    else:
+        if args.design not in _DESIGNS:
+            print(f"error: design {args.design!r} is a model-checking "
+                  f"composition (--exhaustive only); simulation designs: "
+                  f"{', '.join(sorted(_DESIGNS))}", file=sys.stderr)
+            return 2
+        build = _DESIGNS[args.design]
+
+    if args.soak:
+        control = JobControl()
+        if args.time_budget is not None:
+            control.arm_deadline(args.time_budget)
+        try:
+            payload = run_soak(args.design, seed=args.seed,
+                               iterations=args.iterations, cycles=args.cycles,
+                               engine=args.engine, coverage=args.coverage,
+                               kinds=kinds, checkpoint=args.checkpoint,
+                               control=control)
+        except KeyboardInterrupt:
+            # run_soak flushed every completed iteration before re-raising.
+            if args.checkpoint:
+                print(f"\ninterrupted: progress saved to {args.checkpoint}; "
+                      f"re-run with the same --checkpoint to resume",
+                      file=sys.stderr)
+            else:
+                print("\ninterrupted (no --checkpoint; progress lost)",
+                      file=sys.stderr)
+            return interrupt_exit_code()
+        except (JobCancelled, DeadlineExceeded) as exc:
+            hint = (f"progress saved to {args.checkpoint}; re-run with the "
+                    f"same --checkpoint to resume" if args.checkpoint
+                    else "no --checkpoint; progress lost")
+            print(f"stopped: {exc} ({hint})", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0 if payload["ok"] else 1
+        print(f"chaos soak: design={payload['design']} "
+              f"seed={payload['seed']} engine={payload['engine']}")
+        for row in payload["rows"]:
+            verdict = "OK" if row["ok"] else "FAIL"
+            print(f"  iter {row['iteration']:<2} seed={row['seed']:<12} "
+                  f"faults={row['faults']} plan={row['plan_digest'][:12]} "
+                  f"cycles={row['chaos_cycles']:<5} -> {verdict}")
+            for problem in row["problems"]:
+                print(f"      {problem}")
+        print(f"soak: {len(payload['rows'])}/{payload['iterations']} "
+              f"iteration(s) -> {'OK' if payload['ok'] else 'FAIL'}")
+        return 0 if payload["ok"] else 1
+
+    net = build()
+    # Unbounded injection keeps the differential oracle honest, but makes
+    # the exhaustive product grow with every saboteur; default the budget
+    # to a couple of injections per saboteur there so canned designs
+    # finish within --max-states.
+    budget = args.budget
+    if budget is None:
+        budget = 2 if args.exhaustive else -1
+    plan = ChaosPlan.seeded(args.seed, list(net.channels), kinds=kinds,
+                            coverage=args.coverage, budget=budget)
+    fault_rows = [{"channel": f.channel, "kind": f.kind, "rate": f.rate,
+                   "seed": f.seed, "budget": f.budget}
+                  for f in plan.faults]
+
+    if args.exhaustive:
+        report = explore_invariance(build, plan, max_states=args.max_states,
+                                    checkpoint=args.checkpoint,
+                                    time_budget=args.time_budget)
+        result = report.result
+        payload = {
+            "mode": "exhaustive",
+            "design": args.design,
+            "seed": args.seed,
+            "plan_digest": report.plan_digest,
+            "faults": fault_rows,
+            "n_states": result.n_states,
+            "violations": [str(v) for v in result.violations],
+            "deadlocks": list(report.deadlocks),
+            "counterexample": list(report.counterexample),
+            "complete": bool(result.complete),
+            "stopped": result.stopped,
+            "ok": report.ok,
+        }
+    else:
+        report = check_stream_invariance(build, plan, cycles=args.cycles,
+                                         engine=args.engine)
+        payload = {
+            "mode": "invariance",
+            "design": args.design,
+            "engine": report.engine,
+            "seed": args.seed,
+            "plan_digest": report.plan_digest,
+            "faults": fault_rows,
+            "cycles": report.cycles,
+            "chaos_cycles": report.chaos_cycles,
+            "mismatches": list(report.mismatches),
+            "stuck": [f"{name}@{cycle}" for name, cycle in report.stuck],
+            "ok": report.ok,
+        }
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if payload["ok"] else 1
+    print(f"chaos {payload['mode']}: design={args.design} seed={args.seed} "
+          f"plan={payload['plan_digest'][:12]}")
+    for row in fault_rows:
+        print(f"  saboteur {row['kind']:<8} on {row['channel']:<12} "
+              f"rate={row['rate']} budget={row['budget']}")
+    if args.exhaustive:
+        print(f"  states={payload['n_states']} "
+              f"violations={len(payload['violations'])} "
+              f"deadlocks={len(payload['deadlocks'])} "
+              f"complete={payload['complete']}")
+        if not payload["complete"] and not payload["stopped"]:
+            print("  incomplete: state bound exhausted "
+                  "(raise --max-states or lower --budget/--coverage)")
+        for violation in payload["violations"][:4]:
+            print(f"      {violation}")
+        if payload["counterexample"]:
+            print(f"  counterexample (state path): "
+                  f"{payload['counterexample']}")
+        if payload["stopped"]:
+            print(f"  stopped: {payload['stopped']}")
+    else:
+        print(f"  golden {payload['cycles']} cycles, sabotaged "
+              f"{payload['chaos_cycles']} cycles")
+        for problem in payload["mismatches"] + payload["stuck"]:
+            print(f"      {problem}")
+    print(f"-> {'OK' if payload['ok'] else 'FAIL'}")
+    return 0 if payload["ok"] else 1
 
 
 def _cmd_export(args):
@@ -717,12 +882,60 @@ def build_parser():
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
+        "chaos",
+        help="latency-insensitivity chaos harness: inject stalls/bubbles/"
+             "corruption, check output streams stay invariant",
+    )
+    from repro.designs import MC_DESIGNS as _MC_DESIGNS
+
+    p.add_argument("--design",
+                   choices=sorted(set(_DESIGNS) | set(_MC_DESIGNS)),
+                   default="fig6b",
+                   help="simulation design (invariance/soak) or "
+                        "model-checking composition (--exhaustive)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="chaos plan seed (soak derives one sub-seed per "
+                        "iteration)")
+    p.add_argument("--cycles", type=int, default=150,
+                   help="golden run length (the sabotaged run gets 8x slack)")
+    p.add_argument("--coverage", type=float, default=0.5,
+                   help="fraction of channels the seeded plan saboteurs")
+    p.add_argument("--kinds", default="stall,bubble",
+                   help="comma-separated saboteur kinds (stall, bubble, "
+                        "corrupt; corrupt is expected to FAIL the oracle)")
+    p.add_argument("--budget", type=int, default=None,
+                   help="injections per saboteur (-1 = unbounded; default "
+                        "-1, or 2 under --exhaustive to bound the state "
+                        "space)")
+    p.add_argument("--soak", action="store_true",
+                   help="run many seeded plans, checkpointed per iteration")
+    p.add_argument("--iterations", type=int, default=5,
+                   help="soak iterations (each gets a fresh seeded plan)")
+    p.add_argument("--exhaustive", action="store_true",
+                   help="model-check every injection interleaving "
+                        "(saboteurs become nondeterministic choice nodes)")
+    p.add_argument("--max-states", type=int, default=20000, dest="max_states",
+                   help="state bound for --exhaustive")
+    p.add_argument("--time-budget", type=float, default=None,
+                   dest="time_budget",
+                   help="wall-clock budget in seconds (soak stops at an "
+                        "iteration boundary, exhaustive at a checkpoint "
+                        "boundary; progress is saved)")
+    p.add_argument("--checkpoint", metavar="PATH", default=None,
+                   help="checkpoint file: SIGINT/SIGTERM/budget flush "
+                        "progress; re-run with the same flags to resume")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable payload (includes the "
+                        "resolved seed and the plan digest)")
+    p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
         "submit",
         help="submit one job to a running server and stream its outcome",
     )
     p.add_argument("kind",
-                   choices=["measure", "verify", "lint", "sweep", "status",
-                            "shutdown"],
+                   choices=["measure", "verify", "lint", "sweep", "chaos",
+                            "status", "shutdown"],
                    help="job kind (or the status / shutdown server ops)")
     p.add_argument("--root", required=True,
                    help="server root directory (endpoint discovery)")
@@ -740,6 +953,8 @@ def build_parser():
     p.add_argument("--lanes", type=int, default=None)
     p.add_argument("--rules", choices=["all"], default=None,
                    help="lint rule set override")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="soak iterations (chaos jobs)")
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--deadline", type=float, default=None,
                    help="wall-clock deadline for this job in seconds")

@@ -120,6 +120,12 @@ class DeadlineExceeded(JobCancelled):
     durable progress)."""
 
 
+class ChaosError(ElasticError):
+    """A chaos-harness failure (:mod:`repro.chaos`): a fault plan names a
+    channel the design does not have, an unknown saboteur kind, or a wrap
+    handle is unwound against the wrong netlist."""
+
+
 class CheckpointError(ElasticError):
     """A checkpoint file could not be trusted: missing header, checksum
     mismatch (truncated or corrupted body), wrong kind, or a content-address

@@ -57,6 +57,8 @@ CODES = {
              "balance the branches (the join will starve waiting for the unforked side)"),
     "W210": ("comb() override without a matching batch_comb kernel",
              "add a batch_comb staticmethod (or accept per-lane scalar fallback in the batch engine)"),
+    "W211": ("chaos saboteur left in the design",
+             "chaos.unwrap(handle) the instrumented netlist (or rebuild it) before shipping — fault injection must not reach production"),
 }
 
 

@@ -375,7 +375,8 @@ def rule_cycles(netlist):
 
 #: node kinds that pass anti-tokens backward from an output to the paired
 #: input(s) — the counterflow network a kill travels through.
-_ANTI_TRANSPARENT = ("eb", "zbl_eb", "abstract_fifo", "func", "shared")
+_ANTI_TRANSPARENT = ("eb", "zbl_eb", "abstract_fifo", "func", "shared",
+                     "chaos_stall", "chaos_bubble", "chaos_corrupt")
 
 #: sink kinds that inject kills themselves.
 _KILLING_SINKS = ("killer_sink",)
@@ -553,6 +554,28 @@ def rule_batch_kernels(netlist):
                      f"batch_comb ({reason}): {len(names)} node(s) "
                      f"fall back to scalar lanes"),
             node=names[0]))
+    return diags
+
+
+# -- W211: chaos instrumentation left behind -----------------------------------
+
+
+@lint_rule("chaos", ("W211",),
+           "fault-injection saboteurs (repro.chaos) must not ship in a "
+           "production netlist")
+def rule_chaos(netlist):
+    # Matched by kind prefix, not by class: lint must not import the chaos
+    # package (which arms codegen emitters as a side effect), and saboteur
+    # subclasses should stay flagged.
+    diags = []
+    for node in netlist.nodes.values():
+        if node.kind.startswith("chaos_"):
+            diags.append(Diagnostic(
+                code="W211",
+                message=(f"{node.kind} saboteur {node.name!r} left in the "
+                         f"design — chaos instrumentation must be unwrapped "
+                         f"before shipping"),
+                node=node.name))
     return diags
 
 

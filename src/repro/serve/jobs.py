@@ -16,6 +16,10 @@ Four job kinds mirror the long-running CLI subcommands:
     (:data:`repro.perf.presets.PRESET_SWEEPS`), run in-process with a
     per-job checkpoint file so a drained or killed job resumes instead
     of restarting.
+``chaos``
+    A :func:`repro.chaos.run_soak` latency-insensitivity soak of a
+    canned design: seeded saboteur plans, each differentially checked
+    against a golden run, checkpointed per iteration like a sweep.
 
 Every job resolves to a **content-addressed key**: SHA-256 over the
 marshal-v2 canonical bytes of ``(format tag, kind, material, config,
@@ -45,6 +49,7 @@ JOB_KINDS = {
     "verify": ("max_states", "lanes"),
     "lint": ("rules",),
     "sweep": ("cycles", "lanes"),
+    "chaos": ("cycles", "iterations"),
 }
 
 _KEY_FORMAT = "serve-v1"
@@ -108,6 +113,9 @@ def validate_job(spec):
         if rules not in (None, "all"):
             raise ServeError(f"lint rules must be null or 'all', got {rules!r}")
         out["rules"] = rules
+    elif kind == "chaos":
+        out["cycles"] = int(spec.get("cycles", 150))
+        out["iterations"] = int(spec.get("iterations", 5))
     return out
 
 
@@ -244,6 +252,18 @@ def _run_sweep(spec, control, checkpoint, engine):
     return result.to_payload()
 
 
+def _run_chaos(spec, control, checkpoint, engine):
+    from repro.chaos import run_soak
+
+    # run_soak handles control/checkpoint itself: it checks the control at
+    # every iteration boundary (after flushing completed rows), so a
+    # cancelled/deadlined chaos job surfaces the structured stop error with
+    # its progress durable — a redispatch resumes instead of restarting.
+    return run_soak(spec["design"], seed=spec["seed"],
+                    iterations=spec["iterations"], cycles=spec["cycles"],
+                    engine=engine, checkpoint=checkpoint, control=control)
+
+
 def run_job(spec, control=None, checkpoint=None, engine=None):
     """Execute a normalized job spec; returns its deterministic payload.
 
@@ -261,4 +281,6 @@ def run_job(spec, control=None, checkpoint=None, engine=None):
         return _run_lint(spec, control)
     if kind == "sweep":
         return _run_sweep(spec, control, checkpoint, engine)
+    if kind == "chaos":
+        return _run_chaos(spec, control, checkpoint, engine)
     raise ServeError(f"unknown job kind {kind!r}")

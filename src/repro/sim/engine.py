@@ -399,6 +399,10 @@ class Simulator:
             self.monitor.structure_changed()
             for name in self._edited_channels:
                 self.monitor._prev.pop(name, None)
+        for observer in self.observers:
+            hook = getattr(observer, "structure_changed", None)
+            if hook is not None:
+                hook()
         self._edited_channels.clear()
 
     def _check_structural_version(self):

@@ -42,14 +42,20 @@ class ProtocolMonitor:
 
     def structure_changed(self, channel_name=None):
         """Re-derive the retry-exemption set after a structural netlist
-        edit, and forget the previous-cycle signals of the edited channel
-        (a freshly (re)connected channel starts history-free, exactly as
-        under a rebuilt monitor)."""
+        edit, and forget previous-cycle signals: the edited channel's when
+        one is named (a freshly (re)connected channel starts history-free,
+        exactly as under a rebuilt monitor), or *every* channel's when
+        called bare — a splice changes combinational cones arbitrarily far
+        downstream, so any channel's one-cycle history may be stale (e.g.
+        inserting a registered node legally withdraws a downstream offer
+        for one cycle)."""
         from repro.verif.properties import retry_exempt_channels
 
         self._retry_exempt = retry_exempt_channels(self.netlist)
         if channel_name is not None:
             self._prev.pop(channel_name, None)
+        else:
+            self._prev.clear()
 
     def reset(self):
         """Clear per-run history (previous-cycle signals, recorded
@@ -197,6 +203,29 @@ class BoundedLivenessMonitor:
         self.window = window
         self._since_event = {}
         self.stuck = []
+
+    def reset(self):
+        """Clear per-run history (armed counters, recorded stalls) so a
+        warm simulator reset or a new chaos-soak iteration can reuse the
+        monitor; the window configuration is kept."""
+        self._since_event.clear()
+        self.stuck.clear()
+
+    def structure_changed(self, channel_name=None):
+        """React to a structural netlist edit: forget the edited channel's
+        counter when one is named; called bare, drop counters of channels
+        that no longer exist and restart the surviving ones (a splice
+        legally freezes downstream channels for a cycle or two — they
+        should not inherit a nearly-expired window)."""
+        if channel_name is not None:
+            self._since_event.pop(channel_name, None)
+            return
+        channels = self.netlist.channels
+        stale = [name for name in self._since_event if name not in channels]
+        for name in stale:
+            del self._since_event[name]
+        for name in self._since_event:
+            self._since_event[name] = 0
 
     def observe(self, cycle, netlist=None):
         for name, channel in self.netlist.channels.items():

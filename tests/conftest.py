@@ -1,4 +1,23 @@
+import os
+
+import pytest
+
+
 def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "slow: spawns real server subprocesses (SIGKILL/SIGTERM cases)")
+    config.addinivalue_line(
+        "markers",
+        "soak: long-running chaos soak, excluded from tier-1 "
+        "(set REPRO_RUN_SOAK=1 to run)")
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get("REPRO_RUN_SOAK") == "1":
+        return
+    skip_soak = pytest.mark.skip(
+        reason="soak test excluded from tier-1; set REPRO_RUN_SOAK=1 to run")
+    for item in items:
+        if "soak" in item.keywords:
+            item.add_marker(skip_soak)

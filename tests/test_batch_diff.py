@@ -101,6 +101,38 @@ class TestFuzzedLaneAssignments:
         assert_lanes_identical(make_lane, len(lane_params), cycles=250)
 
 
+class TestChaosSaboteurLanes:
+    """Chaos-wrapped lanes: same saboteur topology per lane (the batch
+    engine requires it), per-lane injection seeds — every lane must match
+    its own scalar run bit for bit through the saboteur batch kernels."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_wrapped_lanes_bit_identical(self, seed):
+        from repro.chaos import ChaosFault, ChaosPlan, wrap
+
+        rng = random.Random(seed)
+        n_stages = rng.randint(1, 5)
+        stages = [rng.choice(["eb", "zbl", "func"]) for _ in range(n_stages)]
+        kill = rng.random() < 0.4
+        channels = [f"c{i}" for i in range(n_stages)] + ["out"]
+        picks = [(ch, rng.choice(["stall", "bubble", "corrupt"]))
+                 for ch in channels if rng.random() < 0.6]
+        if not picks:
+            picks = [("out", "stall")]
+
+        def make_lane(lane):
+            net = build_pipeline(stages, 0.3, seed, list(range(20)),
+                                 kill=kill)
+            faults = tuple(
+                ChaosFault(channel=ch, kind=kind, rate=0.3,
+                           seed=seed * 31 + lane * 7 + j)
+                for j, (ch, kind) in enumerate(picks))
+            wrap(net, ChaosPlan(faults=faults, seed=seed))
+            return net
+
+        assert_lanes_identical(make_lane, n_lanes=4, cycles=300)
+
+
 class TestPaperDesignLanes:
     def test_fig1d_lanes(self):
         def make_lane(lane):

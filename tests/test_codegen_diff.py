@@ -71,6 +71,30 @@ class TestRandomPipelines:
         assert_codegen_identical(make, cycles=250)
 
 
+class TestChaosSaboteurs:
+    """Chaos-wrapped corpus pipelines: the saboteur kinds register their
+    own straight-line spec + tick emitters, so a wrapped netlist must
+    compile (no per-node fallback on the saboteurs) and stay
+    bit-identical to the worklist engine."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_wrapped_pipeline_bit_identical(self, seed):
+        from repro.chaos import ChaosPlan, wrap
+
+        stages, stall, kill = _random_pipeline_params(seed)
+        values = list(range(25))
+
+        def make():
+            net = build_pipeline(stages, stall, seed, values, kill=kill)
+            plan = ChaosPlan.seeded(seed, list(net.channels),
+                                    kinds=("stall", "bubble", "corrupt"),
+                                    coverage=0.6)
+            wrap(net, plan)
+            return net
+
+        assert_codegen_identical(make, cycles=400)
+
+
 class TestPaperDesigns:
     """The canned paper designs: fig1a/fig1d exercise the mixed
     straight-line + deferred + boxed path (eemux/shared kinds demote),

@@ -175,6 +175,29 @@ class TestLoopDiagnostics:
         assert diagnoses["worklist"] == diagnoses["naive"]
 
 
+class TestChaosSaboteurs:
+    """Saboteur nodes (:mod:`repro.chaos`) are ordinary nodes to the
+    engines: a chaos-wrapped corpus pipeline must stay bit-identical
+    across engines, injections and all."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_wrapped_pipeline_bit_identical(self, seed):
+        from repro.chaos import ChaosPlan, wrap
+
+        stages, stall, kill = _random_pipeline_params(seed)
+        values = list(range(25))
+
+        def make():
+            net = build_pipeline(stages, stall, seed, values, kill=kill)
+            plan = ChaosPlan.seeded(seed, list(net.channels),
+                                    kinds=("stall", "bubble", "corrupt"),
+                                    coverage=0.6)
+            wrap(net, plan)
+            return net
+
+        assert_engines_identical(make, cycles=400)
+
+
 class TestModelChecking:
     def test_explorer_state_graphs_match(self):
         """The explicit-state explorer must enumerate the same reachable

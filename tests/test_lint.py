@@ -259,7 +259,7 @@ class TestPlumbing:
         assert set(CODES) == {
             "E001", "E002", "E003", "E004", "E005",
             "E101", "E102", "E103", "E110", "E111",
-            "W201", "W202", "W203", "W210",
+            "W201", "W202", "W203", "W210", "W211",
         }
 
     def test_resolve_rules(self):

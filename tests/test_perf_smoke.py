@@ -390,3 +390,63 @@ def test_serve_cache_hit_beats_cold_run():
         f"serve cache-hit speedup regressed: measured {speedup:.2f}x, "
         f"required {threshold:.2f}x (recorded benchmark: {recorded})"
     )
+
+
+# -- chaos wrap-overhead smoke (ISSUE 10) --------------------------------------
+
+#: ceiling on the quick per-cycle slowdown of a chaos-wrapped run (the
+#: recorded bench overhead is ~1.2-1.6x; a saboteur knocking the engine
+#: off its incremental path shows up as 10x+).
+CHAOS_CEILING = 3.5
+
+#: slack factor over the recorded bench overhead when one is available
+#: (the guard is inverted — measured overhead must stay *below* the bar).
+CHAOS_RECORDED_SLACK = 2.5
+
+
+def _measure_chaos_overhead(cycles=600, repeats=2):
+    import time
+
+    from repro.chaos import ChaosPlan, wrap
+    from repro.designs import build_design
+    from repro.sim.engine import Simulator
+
+    plan = ChaosPlan.seeded(1, list(build_design("fig6b").channels))
+
+    def run(wrapped):
+        best = None
+        for _ in range(repeats):
+            net = build_design("fig6b")
+            if wrapped:
+                wrap(net, plan)
+            sim = Simulator(net)
+            start = time.perf_counter()
+            sim.run(cycles)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    return run(True) / run(False)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PERF_SMOKE") == "1",
+    reason="perf smoke disabled via REPRO_SKIP_PERF_SMOKE",
+)
+def test_chaos_wrap_overhead_stays_bounded():
+    ceiling = CHAOS_CEILING
+    recorded = _recorded(
+        os.path.join(_RESULTS_DIR, "BENCH_chaos.json"), "wrap_overhead",
+    )
+    if recorded is not None and recorded >= 1.0:
+        ceiling = max(ceiling, CHAOS_RECORDED_SLACK * recorded)
+    overhead = _measure_chaos_overhead()
+    if overhead > ceiling:
+        # One retry damps scheduler-noise flakes on loaded runners; a real
+        # regression (saboteurs forcing full re-evaluation every cycle)
+        # fails both measurements.
+        overhead = min(overhead, _measure_chaos_overhead())
+    assert overhead <= ceiling, (
+        f"chaos wrap overhead regressed: measured {overhead:.2f}x per "
+        f"cycle, ceiling {ceiling:.2f}x (recorded benchmark: {recorded})"
+    )
